@@ -1,0 +1,54 @@
+"""EXP-A — the average-case study announced in Section 5 of the paper.
+
+"Experiments are currently under progress to assert the good average
+behaviour of our heuristics."  This benchmark runs that study: the full MRT
+scheduler against the two-phase baselines (Turek/Wolf/Yu enumeration and
+Ludwig's single-allotment selection, both with shelf packing) and the naive
+anchors (sequential LPT, gang scheduling), over four workload families and
+three machine sizes.  The asserted *shape*: MRT has the best mean and worst
+ratio, the two-phase methods stay within their constant factors, the naive
+anchors degrade.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import sweep_workloads
+from repro.analysis.tables import format_table
+
+FAMILIES = ("uniform", "mixed", "heavy-tailed", "rigid-heavy")
+MACHINES = (8, 16, 32)
+
+
+def run_sweep():
+    return sweep_workloads(
+        families=FAMILIES,
+        num_tasks=30,
+        machine_sizes=MACHINES,
+        repetitions=2,
+        seed=7,
+    )
+
+
+def test_expA_algorithm_comparison(benchmark, reporter):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    means = {a: result.ratios(a).mean() for a in result.algorithms()}
+    worsts = {a: result.ratios(a).max() for a in result.algorithms()}
+    # Shape claimed by the paper: the sqrt(3) algorithm dominates.
+    assert means["mrt-sqrt3"] == min(means.values())
+    assert worsts["mrt-sqrt3"] <= 1.7330
+    assert worsts["mrt-sqrt3"] <= worsts["ludwig-ffdh"] + 1e-9
+    assert worsts["mrt-sqrt3"] <= worsts["turek-ffdh"] + 1e-9
+    # The naive anchors are clearly worse on average.
+    assert means["gang"] > means["mrt-sqrt3"]
+    assert means["sequential-lpt"] > means["mrt-sqrt3"]
+    per_m_rows = []
+    for algo in result.algorithms():
+        grouped = result.grouped_by_procs(algo)
+        per_m_rows.append([algo] + [f"{grouped[m]:.3f}" for m in MACHINES])
+    reporter(
+        "EXP-A: mean/worst makespan ratio vs lower bound "
+        f"({len(result.records)} runs over {FAMILIES})",
+        result.summary_table()
+        + "\n\nmean ratio per machine size:\n"
+        + format_table(["algorithm"] + [f"m={m}" for m in MACHINES], per_m_rows),
+    )

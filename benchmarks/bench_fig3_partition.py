@@ -1,0 +1,46 @@
+"""FIG3 — the initial canonical allocation and the T1/T2/T3 partition (Figure 3).
+
+Figure 3 shows the canonical allotment split into the three classes used by
+the knapsack branch, with their processor counts q1, q2, q3 and canonical
+areas.  This benchmark regenerates the partition on a 32-processor workload
+and asserts its defining properties.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.partition import LAMBDA_STAR, build_partition
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.generators import mixed_instance
+
+INSTANCE = mixed_instance(num_tasks=40, num_procs=32, seed=303, name="fig3")
+GUESS = canonical_area_lower_bound(INSTANCE) * 1.05
+
+
+def run_once():
+    return build_partition(INSTANCE, GUESS, LAMBDA_STAR)
+
+
+def test_fig3_canonical_partition(benchmark, reporter):
+    part = benchmark(run_once)
+    assert part is not None
+    # The partition covers every task exactly once.
+    assert sorted(part.t1 + part.t2 + part.t3) == list(range(INSTANCE.num_tasks))
+    # Classification thresholds of Section 4.1.
+    for i in part.t1:
+        assert part.alloc.times[i] > LAMBDA_STAR * GUESS - 1e-9
+    for i in part.t3:
+        assert part.alloc.times[i] <= GUESS / 2 + 1e-9
+        assert part.alloc.procs[i] == 1  # small tasks are sequential (Property 1)
+    rows = [
+        ["T1 (tall)", len(part.t1), part.q1, f"{part.area_t1:.4g}"],
+        ["T2 (medium)", len(part.t2), part.q2, f"{part.area_t2:.4g}"],
+        ["T3 (small, FF-packed)", len(part.t3), part.q3, f"{part.area_t3:.4g}"],
+    ]
+    reporter(
+        "FIG3: canonical allocation partition (guess d = %.4g, λ = %.4g)"
+        % (GUESS, LAMBDA_STAR),
+        format_table(["class", "tasks", "processors q", "canonical area"], rows)
+        + f"\nfree second-shelf width m - q2 - q3 = {part.free_shelf2}"
+        + f"\nrequired Σγ to move to shelf 2      = {part.required_gamma()}",
+    )

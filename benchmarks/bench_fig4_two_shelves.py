@@ -1,0 +1,60 @@
+"""FIG4 — an example λ-schedule: two shelves of length d and λ·d (Figure 4).
+
+Figure 4 shows the two-shelf structure: the first shelf holds T1 tasks at
+canonical allotments, the second shelf holds the moved T1 tasks, T2 and the
+First-Fit-packed T3.  This benchmark builds a λ-schedule on the
+shelf-overflow workload (where the knapsack has real work to do), asserts
+the structure and the (1+λ)·d length bound, and times the full two-shelf
+pipeline (partition + knapsack + construction).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.gantt import gantt_chart, shelf_summary
+from repro.core.partition import LAMBDA_STAR, build_partition
+from repro.core.two_shelves import build_lambda_schedule, select_shelf2_subset
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.adversarial import shelf_overflow_instance
+
+INSTANCE = shelf_overflow_instance(32, seed=404, tall_fraction=1.5)
+GUESS = canonical_area_lower_bound(INSTANCE) * 1.3
+
+
+def run_once():
+    part = build_partition(INSTANCE, GUESS, LAMBDA_STAR)
+    assert part is not None
+    subset = select_shelf2_subset(part)
+    if subset is None:
+        return part, None, None
+    return part, subset, build_lambda_schedule(part, subset)
+
+
+def test_fig4_two_shelf_schedule(benchmark, reporter):
+    part, subset, schedule = benchmark(run_once)
+    assert part is not None
+    if schedule is None:
+        # The construction must succeed at a more generous guess instead.
+        part2 = build_partition(INSTANCE, GUESS * 1.3, LAMBDA_STAR)
+        subset = select_shelf2_subset(part2)
+        assert subset is not None
+        schedule = build_lambda_schedule(part2, subset)
+        part = part2
+    schedule.validate()
+    d = part.guess
+    # Two-shelf structure: every start time is either 0, d, or inside the
+    # second shelf (First-Fit stacks), and the makespan is within (1+λ)·d.
+    assert schedule.makespan() <= (1 + part.lam) * d + 1e-9
+    shelf1 = [e for e in schedule.entries if e.start < d - 1e-9]
+    shelf2 = [e for e in schedule.entries if e.start >= d - 1e-9]
+    assert shelf1 and shelf2
+    assert all(e.end <= d + 1e-9 or e.start == 0.0 for e in shelf1)
+    assert all(e.end <= (1 + part.lam) * d + 1e-9 for e in shelf2)
+    reporter(
+        "FIG4: λ-schedule (two shelves), d = %.4g, λ·d = %.4g" % (d, part.lam * d),
+        f"shelf 1 tasks: {len(shelf1)}   shelf 2 tasks: {len(shelf2)}   "
+        f"moved T1 tasks: {len(subset) if subset else 0}\n"
+        f"makespan = {schedule.makespan():.4g}  bound = {(1 + part.lam) * d:.4g}\n\n"
+        + shelf_summary(schedule)
+        + "\n\n"
+        + gantt_chart(schedule, legend=False),
+    )

@@ -1,0 +1,61 @@
+"""FIG5 — a "trivial" λ-schedule solution (paper Figure 5).
+
+Figure 5 shows the degenerate case of Section 4.5: a single T1 task moved to
+the second shelf while every other task fits on the first shelf.  This
+benchmark constructs an instance dominated by one highly parallel task,
+detects the trivial solution in linear time and builds the corresponding
+schedule.
+"""
+
+from __future__ import annotations
+
+from repro import Instance, MalleableTask
+from repro.analysis.gantt import gantt_chart
+from repro.core.partition import LAMBDA_STAR, build_partition
+from repro.core.two_shelves import build_trivial_schedule, find_trivial_solution
+
+M = 16
+
+
+def make_instance() -> Instance:
+    # One dominant task that needs many processors to finish within λ·d, plus
+    # small fillers that all fit next to each other on the first shelf.
+    big = MalleableTask.monotonic_envelope(
+        "dominant", [10.0 / p for p in range(1, M + 1)]
+    )
+    fillers = [MalleableTask.rigid(f"f{i}", 0.35, M) for i in range(6)]
+    return Instance([big] + fillers, M, name="fig5")
+
+
+INSTANCE = make_instance()
+GUESS = 1.0
+
+
+def run_once():
+    part = build_partition(INSTANCE, GUESS, LAMBDA_STAR)
+    assert part is not None
+    tau = find_trivial_solution(part)
+    return part, tau
+
+
+def test_fig5_trivial_solution(benchmark, reporter):
+    part, tau = benchmark(run_once)
+    assert tau is not None, "the dominant-task instance must admit a trivial solution"
+    assert tau in part.t1
+    schedule = build_trivial_schedule(part, tau)
+    schedule.validate()
+    assert schedule.makespan() <= (1 + LAMBDA_STAR) * GUESS + 1e-9
+    # Structure of Figure 5: τ alone in the second shelf, everything else at t=0-ish.
+    entry = schedule.entry_for(tau)
+    assert entry.start >= GUESS - 1e-9
+    others_after_shelf1 = [
+        e for e in schedule.entries if e.task_index != tau and e.end > GUESS + 1e-9
+    ]
+    assert not others_after_shelf1
+    reporter(
+        "FIG5: trivial λ-schedule (one task moved to the second shelf)",
+        f"trivial task: {INSTANCE.tasks[tau].name!r} on d_τ = {entry.num_procs} "
+        f"processors, makespan = {schedule.makespan():.4g} "
+        f"(bound {(1 + LAMBDA_STAR) * GUESS:.4g})\n\n"
+        + gantt_chart(schedule, legend=False),
+    )

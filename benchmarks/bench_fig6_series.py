@@ -1,0 +1,61 @@
+"""FIG6 — the greedy candidate series S_0 ⊇ S_1 ⊇ … of Lemma 4 (Figure 6).
+
+Figure 6 depicts the series of candidate subsets obtained by repeatedly
+removing the T1 task of greatest inefficiency factor; Lemma 4 proves that
+(absent trivial solutions) some element of the series is a feasible
+λ-schedule.  This benchmark regenerates the series on the shelf-overflow
+workload, reports the canonical area of each step and asserts the
+monotonicity the lemma relies on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.partition import LAMBDA_STAR, build_partition
+from repro.core.two_shelves import candidate_series, find_trivial_solution
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.adversarial import shelf_overflow_instance
+
+INSTANCE = shelf_overflow_instance(24, seed=606, tall_fraction=1.4)
+GUESS = canonical_area_lower_bound(INSTANCE) * 1.35
+
+
+def run_once():
+    part = build_partition(INSTANCE, GUESS, LAMBDA_STAR)
+    assert part is not None
+    return part, candidate_series(part)
+
+
+def test_fig6_candidate_series(benchmark, reporter):
+    part, steps = benchmark(run_once)
+    assert len(steps) >= 1
+    # The series shrinks one task at a time down to the empty set.
+    sizes = [len(s.subset) for s in steps]
+    assert sizes == sorted(sizes, reverse=True)
+    assert steps[-1].subset == ()
+    # Canonical areas and γ-sums decrease along the series.
+    areas = [s.canonical_area for s in steps]
+    assert all(a >= b - 1e-9 for a, b in zip(areas, areas[1:]))
+    gammas = [s.gamma_sum for s in steps]
+    assert all(a >= b for a, b in zip(gammas, gammas[1:]))
+    # Lemma 4 claim: a feasible element exists unless a trivial solution does.
+    has_feasible = any(s.feasible for s in steps)
+    has_trivial = find_trivial_solution(part) is not None
+    assert has_feasible or has_trivial
+    rows = [
+        [
+            j,
+            len(s.subset),
+            s.gamma_sum,
+            f"{s.shelf2_width:.0f}",
+            f"{s.canonical_area:.4g}",
+            "yes" if s.feasible else "no",
+        ]
+        for j, s in enumerate(steps)
+    ]
+    reporter(
+        "FIG6: greedy series S_j of Lemma 4 (guess d = %.4g)" % GUESS,
+        format_table(
+            ["j", "|S_j|", "Σ γ", "Σ d_i", "canonical area", "in Γλ"], rows
+        ),
+    )

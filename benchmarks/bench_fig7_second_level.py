@@ -1,0 +1,67 @@
+"""FIG7 — allocation of a task at the second level (paper Figure 7) and Property 3.
+
+Figure 7 illustrates the appendix's worst-case analysis: a task placed at the
+second level of the canonical list schedule must still finish by 2μ·d when
+``m ≥ m*(μ)`` and ``W_m ≤ μ·m·d``.  This benchmark runs the canonical list
+algorithm over the Property-3 stress battery (instances with an explicit
+witness of makespan 1) on a machine of size ``m*(μ)`` and checks the bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+from repro.core.canonical_list import (
+    MU_STAR,
+    canonical_list_schedule,
+    first_two_level_completion,
+    outside_levels_are_small_sequential,
+)
+from repro.workloads.adversarial import property3_stress_instances
+
+M = theory.m_star(MU_STAR)  # = 8, the paper's refined threshold
+TRIALS = 30
+
+
+def run_battery():
+    results = []
+    for instance in property3_stress_instances(M, MU_STAR, trials=TRIALS, rng=707):
+        area = instance.mu_area(1.0)
+        if area is None or area > MU_STAR * M + 1e-9:
+            continue  # hypothesis W_m <= mu*m not satisfied: out of scope
+        schedule = canonical_list_schedule(instance, 1.0)
+        if schedule is None:
+            continue
+        results.append(
+            (
+                instance.name,
+                area,
+                first_two_level_completion(schedule),
+                schedule.makespan(),
+                outside_levels_are_small_sequential(schedule, 1.0),
+            )
+        )
+    return results
+
+
+def test_fig7_property3_second_level(benchmark, reporter):
+    results = benchmark(run_battery)
+    assert results, "the stress battery must produce in-scope instances"
+    bound = 2.0 * MU_STAR  # = sqrt(3)
+    for name, area, first_two, makespan, lemma1 in results:
+        # Property 3: tasks of the first two levels finish by 2μ.
+        assert first_two <= bound + 1e-9, name
+        # Lemma 1: everything outside the first two levels is small & sequential.
+        assert lemma1, name
+    worst = max(r[2] for r in results)
+    rows = [
+        [name, f"{area:.3f}", f"{first_two:.3f}", f"{makespan:.3f}"]
+        for name, area, first_two, makespan, _ in results[:10]
+    ]
+    reporter(
+        "FIG7: Property 3 on m = m*(√3/2) = %d processors (bound 2μ = %.4f)"
+        % (M, bound),
+        format_table(["instance", "W_m", "first-two-level end", "makespan"], rows)
+        + f"\nworst first-two-level completion over {len(results)} in-scope "
+        f"instances: {worst:.4f} <= {bound:.4f}",
+    )

@@ -1,0 +1,62 @@
+"""THM2 — Theorem 2: the Canonical List Algorithm within 2μ·d under its hypotheses.
+
+The theorem requires an instance feasible at d, a machine with at least
+m*(μ) processors and a canonical μ-area W_m ≤ μ·m·d; the produced schedule
+then has length at most 2μ·d = √3·d.  The benchmark filters a random battery
+down to the guesses that satisfy the hypotheses and checks the bound on
+every one of them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+from repro.core.canonical_list import MU_STAR, canonical_list_schedule
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.generators import heavy_tailed_instance, mixed_instance
+
+MACHINES = (8, 16, 32)
+SEEDS = (0, 1, 2, 3)
+FACTORS = (1.05, 1.2, 1.5)
+
+
+def run_battery():
+    rows = []
+    for m in MACHINES:
+        checked = 0
+        worst = 0.0
+        for seed in SEEDS:
+            for factory in (mixed_instance, heavy_tailed_instance):
+                instance = factory(25, m, seed=seed)
+                lb = canonical_area_lower_bound(instance)
+                for factor in FACTORS:
+                    d = lb * factor
+                    area = instance.mu_area(d)
+                    if area is None or area > MU_STAR * m * d:
+                        continue  # hypothesis of Theorem 2 not met
+                    schedule = canonical_list_schedule(instance, d)
+                    if schedule is None:
+                        continue
+                    checked += 1
+                    worst = max(worst, schedule.makespan() / d)
+        rows.append((m, checked, worst))
+    return rows
+
+
+def test_thm2_canonical_list_bound(benchmark, reporter):
+    rows = benchmark(run_battery)
+    bound = 2.0 * MU_STAR
+    total = 0
+    for m, checked, worst in rows:
+        total += checked
+        if m >= theory.m_star(MU_STAR) and checked:
+            assert worst <= bound + 1e-9, f"Theorem 2 bound violated on m={m}"
+    assert total > 0, "the battery must contain in-hypothesis cases"
+    reporter(
+        "THM2: canonical list length / d under the W_m <= mu*m*d hypothesis "
+        f"(bound 2mu = {bound:.4f})",
+        format_table(
+            ["m", "in-hypothesis guesses", "worst length/d"],
+            [[m, c, f"{w:.4f}"] for m, c, w in rows],
+        ),
+    )

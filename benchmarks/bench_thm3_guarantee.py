@@ -1,0 +1,75 @@
+"""THM3 — the overall √3 guarantee of the combined algorithm (Theorem 3 / Section 5).
+
+For every workload family, the makespan of the full MRT scheduler divided by
+the strongest lower bound (and, on small instances, by the exact optimum)
+must never exceed √3.  This is the headline result of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.baselines.optimal import optimal_schedule
+from repro.core.mrt import MRTScheduler
+from repro.lower_bounds import best_lower_bound
+from repro.workloads.generators import (
+    heavy_tailed_instance,
+    mixed_instance,
+    rigid_heavy_instance,
+    uniform_instance,
+)
+from repro.workloads.adversarial import shelf_overflow_instance
+from repro.workloads.ocean import ocean_instance
+
+SQRT3 = math.sqrt(3.0)
+
+FAMILIES = {
+    "uniform": lambda s: uniform_instance(25, 16, seed=s),
+    "mixed": lambda s: mixed_instance(25, 16, seed=s),
+    "heavy-tailed": lambda s: heavy_tailed_instance(25, 16, seed=s),
+    "rigid-heavy": lambda s: rigid_heavy_instance(25, 16, seed=s),
+    "shelf-overflow": lambda s: shelf_overflow_instance(16, seed=s),
+    "ocean": lambda s: ocean_instance(16, blocks=5, seed=s),
+}
+SEEDS = (0, 1, 2)
+
+
+def run_battery():
+    rows = []
+    for name, factory in FAMILIES.items():
+        worst = 0.0
+        mean = 0.0
+        count = 0
+        for seed in SEEDS:
+            instance = factory(seed)
+            schedule = MRTScheduler(eps=1e-3).schedule(instance)
+            ratio = schedule.makespan() / best_lower_bound(instance)
+            worst = max(worst, ratio)
+            mean += ratio
+            count += 1
+        rows.append((name, mean / count, worst))
+    # exact-optimum check on small instances
+    exact_worst = 0.0
+    for seed in range(4):
+        instance = mixed_instance(5, 4, seed=seed)
+        mrt = MRTScheduler().schedule(instance).makespan()
+        opt = optimal_schedule(instance).makespan()
+        exact_worst = max(exact_worst, mrt / opt)
+    return rows, exact_worst
+
+
+def test_thm3_sqrt3_guarantee(benchmark, reporter):
+    rows, exact_worst = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+    for name, mean, worst in rows:
+        assert worst <= SQRT3 * 1.01, f"√3 guarantee violated on {name}"
+    assert exact_worst <= SQRT3 * (1 + 1e-6)
+    reporter(
+        "THM3: makespan / lower bound of the full MRT scheduler (bound sqrt(3) = %.4f)"
+        % SQRT3,
+        format_table(
+            ["workload family", "mean ratio", "worst ratio"],
+            [[n, f"{m:.4f}", f"{w:.4f}"] for n, m, w in rows],
+        )
+        + f"\nworst ratio vs the exact optimum on small instances: {exact_worst:.4f}",
+    )

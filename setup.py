@@ -1,0 +1,9 @@
+"""Legacy shim so that ``pip install -e . --no-use-pep517`` works offline.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+because the build environment has no network access and an old setuptools
+that cannot build editable wheels (PEP 660) without the ``wheel`` package.
+"""
+from setuptools import setup
+
+setup()

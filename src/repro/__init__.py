@@ -1,0 +1,155 @@
+"""repro — reproduction of *Efficient Approximation Algorithms for Scheduling Malleable Tasks*.
+
+Mounié, Rapine & Trystram, SPAA 1999.  The package provides:
+
+* a malleable-task model with monotonicity validation (:mod:`repro.model`),
+* the paper's √3-approximation — dual approximation, list algorithms and the
+  knapsack-based two-shelf allotment selection (:mod:`repro.core`),
+* the baselines the paper compares against — Turek/Ludwig two-phase methods,
+  strip packing, LPT, gang and an exact branch-and-bound optimum
+  (:mod:`repro.baselines`),
+* synthetic workloads including the motivating ocean-circulation application
+  (:mod:`repro.workloads`),
+* a discrete-event machine simulator (:mod:`repro.sim`), metrics and an
+  experiment harness (:mod:`repro.analysis`), and a CLI (``python -m repro``).
+
+Quickstart
+----------
+>>> from repro import MRTScheduler, mixed_instance
+>>> instance = mixed_instance(num_tasks=20, num_procs=16, seed=0)
+>>> schedule = MRTScheduler().schedule(instance)
+>>> schedule.makespan() > 0
+True
+"""
+
+from __future__ import annotations
+
+from .exceptions import (
+    InfeasibleError,
+    InvalidScheduleError,
+    ModelError,
+    MonotonicityError,
+    ReproError,
+    SchedulingError,
+    SearchError,
+)
+from .model import (
+    Allotment,
+    AmdahlSpeedup,
+    CommunicationOverheadSpeedup,
+    Instance,
+    MalleableTask,
+    NoSpeedup,
+    PerfectSpeedup,
+    PowerLawSpeedup,
+    Schedule,
+    ScheduledTask,
+    SpeedupModel,
+    TabulatedSpeedup,
+    ThresholdSpeedup,
+)
+from .scheduler import Scheduler
+from .core import (
+    CanonicalListScheduler,
+    MalleableListScheduler,
+    MRTDual,
+    MRTResult,
+    MRTScheduler,
+    TwoShelfDual,
+    dual_search,
+    theory,
+)
+from .baselines import (
+    BranchAndBoundOptimal,
+    GangScheduler,
+    LudwigScheduler,
+    SequentialLPTScheduler,
+    TurekScheduler,
+)
+from .lower_bounds import (
+    best_lower_bound,
+    canonical_area_lower_bound,
+    squashed_area_lower_bound,
+    trivial_lower_bound,
+)
+from .workloads import (
+    heavy_tailed_instance,
+    make_workload,
+    mixed_instance,
+    ocean_instance,
+    random_monotonic_instance,
+    rigid_heavy_instance,
+    uniform_instance,
+)
+from .analysis import (
+    evaluate_schedule,
+    gantt_chart,
+    run_comparison,
+    sweep_workloads,
+)
+from .sim import OnlineListSimulator, simulate_and_check, simulate_schedule
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ModelError",
+    "MonotonicityError",
+    "InvalidScheduleError",
+    "InfeasibleError",
+    "SchedulingError",
+    "SearchError",
+    # model
+    "MalleableTask",
+    "Instance",
+    "Allotment",
+    "Schedule",
+    "ScheduledTask",
+    "SpeedupModel",
+    "AmdahlSpeedup",
+    "PowerLawSpeedup",
+    "CommunicationOverheadSpeedup",
+    "ThresholdSpeedup",
+    "TabulatedSpeedup",
+    "PerfectSpeedup",
+    "NoSpeedup",
+    # algorithms
+    "Scheduler",
+    "MRTScheduler",
+    "MRTDual",
+    "MRTResult",
+    "MalleableListScheduler",
+    "CanonicalListScheduler",
+    "TwoShelfDual",
+    "dual_search",
+    "theory",
+    # baselines
+    "TurekScheduler",
+    "LudwigScheduler",
+    "SequentialLPTScheduler",
+    "GangScheduler",
+    "BranchAndBoundOptimal",
+    # bounds
+    "trivial_lower_bound",
+    "canonical_area_lower_bound",
+    "squashed_area_lower_bound",
+    "best_lower_bound",
+    # workloads
+    "uniform_instance",
+    "mixed_instance",
+    "heavy_tailed_instance",
+    "rigid_heavy_instance",
+    "random_monotonic_instance",
+    "make_workload",
+    "ocean_instance",
+    # analysis & simulation
+    "evaluate_schedule",
+    "gantt_chart",
+    "run_comparison",
+    "sweep_workloads",
+    "simulate_schedule",
+    "simulate_and_check",
+    "OnlineListSimulator",
+]

@@ -1,0 +1,27 @@
+"""Metrics, Gantt rendering, tables and the experiment harness."""
+
+from .metrics import ScheduleMetrics, approximation_ratio, evaluate_schedule
+from .gantt import gantt_chart, shelf_summary
+from .tables import format_markdown_table, format_table
+from .experiments import (
+    ComparisonResult,
+    RunRecord,
+    default_schedulers,
+    run_comparison,
+    sweep_workloads,
+)
+
+__all__ = [
+    "ScheduleMetrics",
+    "approximation_ratio",
+    "evaluate_schedule",
+    "gantt_chart",
+    "shelf_summary",
+    "format_table",
+    "format_markdown_table",
+    "ComparisonResult",
+    "RunRecord",
+    "default_schedulers",
+    "run_comparison",
+    "sweep_workloads",
+]

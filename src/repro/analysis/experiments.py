@@ -1,0 +1,172 @@
+"""Experiment harness: algorithm comparisons over workload sweeps.
+
+This is the machinery behind the EXP-A/EXP-B/EXP-C rows of ``EXPERIMENTS.md``
+and behind ``python -m repro compare``.  It runs a set of schedulers over a
+grid of workloads (family × machine size × repetitions), measures every run
+against the strongest lower bound and aggregates the approximation ratios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.gang import GangScheduler
+from ..baselines.ludwig import LudwigScheduler
+from ..baselines.sequential import SequentialLPTScheduler
+from ..baselines.turek import TurekScheduler
+from ..core.mrt import MRTScheduler
+from ..lower_bounds import best_lower_bound
+from ..model.instance import Instance
+from ..scheduler import Scheduler
+from ..workloads.generators import make_workload
+from .metrics import ScheduleMetrics, evaluate_schedule
+from .tables import format_table
+
+__all__ = [
+    "RunRecord",
+    "ComparisonResult",
+    "default_schedulers",
+    "run_comparison",
+    "sweep_workloads",
+]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (instance, scheduler) measurement."""
+
+    instance_name: str
+    family: str
+    num_tasks: int
+    num_procs: int
+    algorithm: str
+    makespan: float
+    lower_bound: float
+    ratio: float
+    runtime_seconds: float
+
+
+@dataclass
+class ComparisonResult:
+    """All measurements of a comparison, with aggregation helpers."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        """Distinct algorithm names, in first-seen order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.algorithm not in seen:
+                seen.append(record.algorithm)
+        return seen
+
+    def ratios(self, algorithm: str) -> np.ndarray:
+        """All measured ratios of one algorithm."""
+        return np.array(
+            [r.ratio for r in self.records if r.algorithm == algorithm]
+        )
+
+    def summary_rows(self) -> list[list]:
+        """Aggregate rows: mean/max ratio and mean runtime per algorithm."""
+        rows = []
+        for algo in self.algorithms():
+            ratios = self.ratios(algo)
+            runtimes = np.array(
+                [r.runtime_seconds for r in self.records if r.algorithm == algo]
+            )
+            rows.append(
+                [
+                    algo,
+                    float(ratios.mean()),
+                    float(ratios.max()),
+                    float(np.percentile(ratios, 95)),
+                    float(runtimes.mean()),
+                    len(ratios),
+                ]
+            )
+        return rows
+
+    def summary_table(self) -> str:
+        """Human-readable aggregate table."""
+        return format_table(
+            ["algorithm", "mean ratio", "max ratio", "p95 ratio", "mean s", "runs"],
+            self.summary_rows(),
+        )
+
+    def grouped_by_procs(self, algorithm: str) -> dict[int, float]:
+        """Mean ratio of one algorithm per machine size."""
+        out: dict[int, list[float]] = {}
+        for record in self.records:
+            if record.algorithm == algorithm:
+                out.setdefault(record.num_procs, []).append(record.ratio)
+        return {m: float(np.mean(v)) for m, v in sorted(out.items())}
+
+
+def default_schedulers() -> list[Scheduler]:
+    """The scheduler line-up of experiment EXP-A."""
+    return [
+        MRTScheduler(),
+        LudwigScheduler(),
+        TurekScheduler(max_candidates=128),
+        SequentialLPTScheduler(),
+        GangScheduler(),
+    ]
+
+
+def run_comparison(
+    instances: Sequence[Instance],
+    schedulers: Sequence[Scheduler] | None = None,
+    *,
+    family: str = "custom",
+) -> ComparisonResult:
+    """Run every scheduler on every instance and collect the measurements."""
+    chosen = list(schedulers) if schedulers is not None else default_schedulers()
+    result = ComparisonResult()
+    for instance in instances:
+        lb = best_lower_bound(instance)
+        for scheduler in chosen:
+            start = time.perf_counter()
+            schedule = scheduler.schedule(instance)
+            elapsed = time.perf_counter() - start
+            schedule.validate()
+            result.records.append(
+                RunRecord(
+                    instance_name=instance.name,
+                    family=family,
+                    num_tasks=instance.num_tasks,
+                    num_procs=instance.num_procs,
+                    algorithm=scheduler.name,
+                    makespan=schedule.makespan(),
+                    lower_bound=lb,
+                    ratio=schedule.makespan() / lb if lb > 0 else float("inf"),
+                    runtime_seconds=elapsed,
+                )
+            )
+    return result
+
+
+def sweep_workloads(
+    *,
+    families: Sequence[str] = ("uniform", "mixed", "heavy-tailed", "rigid-heavy"),
+    num_tasks: int = 40,
+    machine_sizes: Sequence[int] = (8, 16, 32),
+    repetitions: int = 3,
+    seed: int = 0,
+    schedulers: Sequence[Scheduler] | None = None,
+) -> ComparisonResult:
+    """The EXP-A sweep: families × machine sizes × repetitions."""
+    rng = np.random.default_rng(seed)
+    result = ComparisonResult()
+    for family in families:
+        for m in machine_sizes:
+            instances = [
+                make_workload(family, num_tasks, m, seed=rng)
+                for _ in range(repetitions)
+            ]
+            partial = run_comparison(instances, schedulers, family=family)
+            result.records.extend(partial.records)
+    return result

@@ -1,0 +1,73 @@
+"""ASCII Gantt charts for schedules.
+
+The paper's structural figures (Figures 1–7) depict schedule shapes; the
+benchmarks regenerate them as text Gantt charts so that the structures (two
+shelves, levels, idle stair-steps…) can be inspected directly in the bench
+output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from ..model.schedule import Schedule
+
+__all__ = ["gantt_chart", "shelf_summary"]
+
+_CHARS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def gantt_chart(schedule: Schedule, *, width: int = 78, legend: bool = True) -> str:
+    """Render a schedule as an ASCII Gantt chart (one row per processor).
+
+    Each task is drawn with a repeated single character; idle time is ``.``.
+    Time is discretised into ``width`` columns spanning ``[0, makespan]``.
+    """
+    instance = schedule.instance
+    cmax = schedule.makespan()
+    if cmax <= 0 or len(schedule) == 0:
+        return "(empty schedule)"
+    m = instance.num_procs
+    cols = max(10, width)
+    grid = [["." for _ in range(cols)] for _ in range(m)]
+    symbol_of: dict[int, str] = {}
+    for idx, entry in enumerate(sorted(schedule.entries, key=lambda e: (e.start, e.first_proc))):
+        symbol = _CHARS[idx % len(_CHARS)]
+        symbol_of[entry.task_index] = symbol
+        c0 = int(round(entry.start / cmax * cols))
+        c1 = int(round(entry.end / cmax * cols))
+        c1 = max(c1, c0 + 1)
+        for proc in entry.procs:
+            for c in range(c0, min(c1, cols)):
+                grid[proc][c] = symbol
+    lines = [f"{schedule.algorithm or 'schedule'}  makespan={cmax:.4g}  m={m}"]
+    for proc in range(m):
+        lines.append(f"P{proc:>3} |" + "".join(grid[proc]) + "|")
+    ruler = " " * 5 + "0" + " " * (cols - 8) + f"{cmax:.3g}"
+    lines.append(ruler)
+    if legend:
+        entries = sorted(symbol_of.items(), key=lambda kv: kv[1])
+        parts = [
+            f"{sym}={instance.tasks[task].name}" for task, sym in entries[:24]
+        ]
+        lines.append("legend: " + ", ".join(parts) + ("…" if len(entries) > 24 else ""))
+    return "\n".join(lines)
+
+
+def shelf_summary(schedule: Schedule, *, tol: float = 1e-9) -> str:
+    """One line per distinct start time: how many tasks/processors start there.
+
+    Handy to display two-shelf structures (Figure 4) compactly.
+    """
+    groups: dict[float, list] = {}
+    for entry in schedule.entries:
+        key = round(entry.start / max(tol, 1e-12)) * tol if tol > 0 else entry.start
+        groups.setdefault(round(entry.start, 9), []).append(entry)
+    lines = []
+    for start in sorted(groups):
+        entries = groups[start]
+        procs = sum(e.num_procs for e in entries)
+        height = max(e.duration for e in entries)
+        lines.append(
+            f"t={start:8.4g}: {len(entries):3d} task(s), {procs:4d} processor(s), "
+            f"height {height:.4g}"
+        )
+    return "\n".join(lines)

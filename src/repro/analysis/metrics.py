@@ -1,0 +1,71 @@
+"""Schedule quality metrics used throughout the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lower_bounds import best_lower_bound
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "evaluate_schedule", "approximation_ratio"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary statistics of a schedule against an instance.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the producing algorithm.
+    makespan:
+        Completion time of the schedule.
+    lower_bound:
+        The strongest makespan lower bound of :mod:`repro.lower_bounds`.
+    ratio:
+        ``makespan / lower_bound`` — an upper bound on the true approximation
+        ratio of the run.
+    utilization:
+        Fraction of the ``m × makespan`` area occupied by tasks.
+    total_work:
+        Processor-time area of the schedule.
+    work_inflation:
+        ``total_work / Σ t_i(1)`` — how much extra work parallelisation cost
+        (1.0 means every task ran at its most efficient allotment).
+    """
+
+    algorithm: str
+    makespan: float
+    lower_bound: float
+    ratio: float
+    utilization: float
+    total_work: float
+    work_inflation: float
+
+
+def approximation_ratio(schedule: Schedule, *, lower_bound: float | None = None) -> float:
+    """``makespan / lower_bound`` (uses the strongest implemented bound by default)."""
+    lb = lower_bound if lower_bound is not None else best_lower_bound(schedule.instance)
+    if lb <= 0:
+        return float("inf")
+    return schedule.makespan() / lb
+
+
+def evaluate_schedule(
+    schedule: Schedule, *, lower_bound: float | None = None
+) -> ScheduleMetrics:
+    """Compute the full metric set for a schedule."""
+    instance: Instance = schedule.instance
+    lb = lower_bound if lower_bound is not None else best_lower_bound(instance)
+    sequential_work = instance.total_sequential_work()
+    total_work = schedule.total_work()
+    return ScheduleMetrics(
+        algorithm=schedule.algorithm or "unknown",
+        makespan=schedule.makespan(),
+        lower_bound=lb,
+        ratio=schedule.makespan() / lb if lb > 0 else float("inf"),
+        utilization=schedule.utilization(),
+        total_work=total_work,
+        work_inflation=total_work / sequential_work if sequential_work > 0 else 1.0,
+    )

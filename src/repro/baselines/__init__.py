@@ -1,0 +1,34 @@
+"""Baseline schedulers the paper compares against (and sanity anchors)."""
+
+from .listsched import (
+    RigidLPTScheduler,
+    largest_width_order,
+    lpt_order,
+    rigid_list_schedule,
+)
+from .strip_packing import ffdh_schedule, nfdh_schedule, pack_with
+from .turek import TurekScheduler, candidate_thresholds, canonical_allotment_for_threshold
+from .ludwig import LudwigScheduler, select_min_lower_bound_allotment
+from .gang import GangScheduler
+from .sequential import SequentialLPTScheduler
+from .optimal import BranchAndBoundOptimal, optimal_makespan, optimal_schedule
+
+__all__ = [
+    "RigidLPTScheduler",
+    "rigid_list_schedule",
+    "lpt_order",
+    "largest_width_order",
+    "nfdh_schedule",
+    "ffdh_schedule",
+    "pack_with",
+    "TurekScheduler",
+    "candidate_thresholds",
+    "canonical_allotment_for_threshold",
+    "LudwigScheduler",
+    "select_min_lower_bound_allotment",
+    "GangScheduler",
+    "SequentialLPTScheduler",
+    "BranchAndBoundOptimal",
+    "optimal_schedule",
+    "optimal_makespan",
+]

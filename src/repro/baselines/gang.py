@@ -1,0 +1,36 @@
+"""Gang scheduling baseline: every task gets the whole machine.
+
+The simplest malleable policy: run the tasks one after the other, each on all
+``m`` processors.  Its makespan ``Σ_i t_i(m)`` is optimal when tasks scale
+perfectly, but degrades linearly with the aggregate parallel overhead —
+making it a useful sanity anchor in the comparison tables of EXP-A.
+"""
+
+from __future__ import annotations
+
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..scheduler import Scheduler
+
+__all__ = ["GangScheduler"]
+
+
+class GangScheduler(Scheduler):
+    """Run every task on all ``m`` processors, back to back (LPT order)."""
+
+    name = "gang"
+
+    def schedule(self, instance: Instance) -> Schedule:
+        m = instance.num_procs
+        order = sorted(
+            range(instance.num_tasks),
+            key=lambda i: -instance.tasks[i].time(m),
+        )
+        schedule = Schedule(instance, algorithm=self.name)
+        clock = 0.0
+        for i in order:
+            duration = instance.tasks[i].time(m)
+            schedule.add(i, clock, 0, m)
+            clock += duration
+        schedule.validate()
+        return schedule

@@ -1,0 +1,89 @@
+"""Graham list scheduling and LPT for rigid (allotted) tasks.
+
+These are the classical building blocks referenced in Section 3 of the
+paper: Graham's list scheduling [8] and its LPT (longest processing time
+first) priority rule.  They operate on a rigid instance — an
+:class:`~repro.model.allotment.Allotment` — and are used both as the second
+phase of the two-phase baselines (:mod:`repro.baselines.turek`,
+:mod:`repro.baselines.ludwig`) and as stand-alone comparison points.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.list_scheduling import contiguous_list_schedule
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..scheduler import Scheduler
+
+__all__ = [
+    "rigid_list_schedule",
+    "lpt_order",
+    "largest_width_order",
+    "RigidLPTScheduler",
+]
+
+
+def lpt_order(allotment: Allotment) -> list[int]:
+    """Task indices by non-increasing rigid execution time (LPT priority)."""
+    times = allotment.times()
+    return sorted(range(len(allotment)), key=lambda i: (-times[i], i))
+
+
+def largest_width_order(allotment: Allotment) -> list[int]:
+    """Task indices by non-increasing processor requirement, ties by LPT."""
+    times = allotment.times()
+    return sorted(
+        range(len(allotment)), key=lambda i: (-allotment[i], -times[i], i)
+    )
+
+
+def rigid_list_schedule(
+    allotment: Allotment,
+    *,
+    order: Sequence[int] | None = None,
+    algorithm: str = "rigid-list",
+) -> Schedule:
+    """Contiguous list schedule of a rigid instance in the given priority order.
+
+    Defaults to the LPT order.  Each task is placed on the contiguous block
+    of processors with the earliest availability (Graham's rule restricted to
+    contiguous blocks), which yields the classical ``2 − 1/m`` behaviour for
+    sequential tasks and the resource-constrained bound of Garey & Johnson
+    for parallel ones.
+    """
+    chosen = list(order) if order is not None else lpt_order(allotment)
+    schedule = contiguous_list_schedule(allotment, chosen, algorithm=algorithm)
+    schedule.validate()
+    return schedule
+
+
+class RigidLPTScheduler(Scheduler):
+    """Malleable scheduler baseline: fix an allotment rule, then LPT-list it.
+
+    The allotment rule assigns every task a constant number of processors
+    (``procs_per_task``, clipped to the task's profile); the induced rigid
+    instance is then list-scheduled with LPT priority.  With
+    ``procs_per_task=1`` this is plain sequential LPT; larger values give the
+    naive "everybody gets k processors" policies that practitioners often
+    start from, providing an instructive baseline in the comparison tables.
+    """
+
+    def __init__(self, procs_per_task: int = 1) -> None:
+        if procs_per_task < 1:
+            raise ValueError("procs_per_task must be >= 1")
+        self.procs_per_task = procs_per_task
+        self.name = f"lpt-{procs_per_task}proc"
+
+    def schedule(self, instance: Instance) -> Schedule:
+        procs = np.full(
+            instance.num_tasks,
+            min(self.procs_per_task, instance.num_procs),
+            dtype=int,
+        )
+        allotment = Allotment(instance, procs)
+        return rigid_list_schedule(allotment, algorithm=self.name)

@@ -1,0 +1,75 @@
+"""Ludwig's improved two-phase baseline (reference [12]).
+
+Ludwig observed that the full threshold enumeration of Turek, Wolf & Yu is
+unnecessary: because the rigid-phase guarantee is stated with respect to the
+rigid lower bound ``L(A) = max(total_work(A)/m, max_time(A))``, it suffices
+to hand the rigid phase the single allotment minimising that lower bound.
+For monotonic tasks ``L`` can be minimised efficiently; combined with
+Steinberg's absolute-2 strip packing this gave the guarantee-2 algorithm that
+was the best practical result before the paper.
+
+:class:`LudwigScheduler` implements the allotment selection exactly (the
+minimiser of ``L`` over the canonical allotments of the distinct time
+thresholds — for monotonic tasks the optimal allotment is canonical for some
+threshold, because lowering a task's allotment below its canonical value for
+the chosen threshold only raises ``max_time`` while raising it only increases
+the work).  The rigid phase uses the shelf packers of
+:mod:`repro.baselines.strip_packing` (see the substitution note there about
+Steinberg's algorithm).
+"""
+
+from __future__ import annotations
+
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..scheduler import Scheduler
+from .strip_packing import pack_with
+from .turek import candidate_thresholds
+
+__all__ = ["select_min_lower_bound_allotment", "LudwigScheduler"]
+
+
+def select_min_lower_bound_allotment(
+    instance: Instance, *, max_candidates: int | None = None
+) -> tuple[Allotment, float]:
+    """The canonical allotment minimising ``max(work/m, max_time)``.
+
+    Returns the allotment and its lower-bound value.  The search scans the
+    distinct execution-time thresholds in increasing order; the work of the
+    canonical allotment is non-increasing in the threshold while the
+    ``max_time`` term is non-decreasing, so the minimum of the max of the two
+    is attained at one of the scanned thresholds.
+    """
+    best_allotment: Allotment | None = None
+    best_value = float("inf")
+    for threshold in candidate_thresholds(instance, max_candidates=max_candidates):
+        allotment = Allotment.canonical(instance, threshold)
+        if allotment is None:
+            continue
+        value = allotment.lower_bound()
+        if value < best_value:
+            best_value = value
+            best_allotment = allotment
+    assert best_allotment is not None
+    return best_allotment, best_value
+
+
+class LudwigScheduler(Scheduler):
+    """Guarantee-2-style two-phase baseline: one allotment + shelf packing."""
+
+    def __init__(self, packer: str = "ffdh", *, max_candidates: int | None = None) -> None:
+        self.packer = packer
+        self.max_candidates = max_candidates
+        self.name = f"ludwig-{packer}"
+        #: lower bound of the selected allotment at the last call.
+        self.last_lower_bound: float | None = None
+
+    def schedule(self, instance: Instance) -> Schedule:
+        allotment, value = select_min_lower_bound_allotment(
+            instance, max_candidates=self.max_candidates
+        )
+        self.last_lower_bound = value
+        schedule = pack_with(allotment, self.packer)
+        schedule.validate()
+        return schedule

@@ -1,0 +1,30 @@
+"""Sequential LPT baseline: no task is ever parallelised.
+
+Each task runs on a single processor; tasks are dispatched with Graham's LPT
+rule.  This policy minimises total work (by monotonicity the one-processor
+work is minimal) but ignores the critical-path benefit of parallelising long
+tasks, so it degrades when a few tasks dominate — the regime the malleable
+model is designed for.  Together with :class:`repro.baselines.gang.GangScheduler`
+it brackets the naive ends of the allotment spectrum in the EXP-A tables.
+"""
+
+from __future__ import annotations
+
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..scheduler import Scheduler
+from .listsched import rigid_list_schedule
+
+__all__ = ["SequentialLPTScheduler"]
+
+
+class SequentialLPTScheduler(Scheduler):
+    """One processor per task, LPT dispatch."""
+
+    name = "sequential-lpt"
+
+    def schedule(self, instance: Instance) -> Schedule:
+        allotment = Allotment.sequential(instance)
+        schedule = rigid_list_schedule(allotment, algorithm=self.name)
+        return schedule

@@ -1,0 +1,89 @@
+"""Two-phase baseline of Turek, Wolf & Yu (reference [18]).
+
+Turek, Wolf & Yu showed that any ρ-approximation for the *non-malleable*
+(rigid) scheduling problem can be turned into a ρ-approximation for the
+malleable problem by trying a polynomial number of candidate allotments: it
+suffices to consider, for every threshold value ``t`` among the ``n·m``
+distinct execution times of the instance, the allotment that gives each task
+the fewest processors achieving execution time at most ``t``, and to keep the
+best schedule produced by the rigid-phase algorithm over all candidates.
+
+:class:`TurekScheduler` implements exactly that enumeration with a pluggable
+rigid phase (NFDH, FFDH or contiguous LPT list scheduling).  Its guarantee is
+the guarantee of the rigid phase; with the shelf packers this is the
+"guarantee 2–3 two-phase method" the paper improves upon.  The number of
+candidates can be capped (``max_candidates``) for very large instances — the
+thresholds are then sub-sampled evenly, which preserves the practical
+behaviour while bounding the running time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..scheduler import Scheduler
+from .strip_packing import pack_with
+
+__all__ = ["candidate_thresholds", "canonical_allotment_for_threshold", "TurekScheduler"]
+
+
+def candidate_thresholds(instance: Instance, *, max_candidates: int | None = None) -> list[float]:
+    """The distinct execution times of the instance, in increasing order.
+
+    These are the only makespan thresholds at which the canonical allotment
+    can change, hence the only candidates Turek, Wolf & Yu need to try.
+    """
+    values = sorted(
+        {float(t) for task in instance.tasks for t in task.times}
+    )
+    if max_candidates is not None and len(values) > max_candidates:
+        idx = np.linspace(0, len(values) - 1, max_candidates).round().astype(int)
+        values = [values[i] for i in sorted(set(idx.tolist()))]
+    return values
+
+
+def canonical_allotment_for_threshold(
+    instance: Instance, threshold: float
+) -> Allotment | None:
+    """Minimal-processor allotment meeting ``threshold``, or ``None``."""
+    return Allotment.canonical(instance, threshold)
+
+
+class TurekScheduler(Scheduler):
+    """Two-phase malleable scheduler: threshold enumeration + rigid packing.
+
+    Parameters
+    ----------
+    packer:
+        Rigid-phase algorithm: ``"ffdh"`` (default), ``"nfdh"`` or ``"list"``.
+    max_candidates:
+        Optional cap on the number of thresholds tried.
+    """
+
+    def __init__(self, packer: str = "ffdh", *, max_candidates: int | None = 512) -> None:
+        self.packer = packer
+        self.max_candidates = max_candidates
+        self.name = f"turek-{packer}"
+        #: threshold that produced the best schedule at the last call.
+        self.last_threshold: float | None = None
+
+    def schedule(self, instance: Instance) -> Schedule:
+        best: Schedule | None = None
+        best_threshold: float | None = None
+        for threshold in candidate_thresholds(
+            instance, max_candidates=self.max_candidates
+        ):
+            allotment = canonical_allotment_for_threshold(instance, threshold)
+            if allotment is None:
+                continue
+            schedule = pack_with(allotment, self.packer)
+            if best is None or schedule.makespan() < best.makespan():
+                best = schedule
+                best_threshold = threshold
+        assert best is not None  # the largest threshold always yields an allotment
+        self.last_threshold = best_threshold
+        best.validate()
+        return best

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-sched`` script.
+
+Sub-commands
+------------
+``generate``  Generate a synthetic instance and write it as JSON.
+``schedule``  Schedule an instance (JSON file or generated on the fly) with a
+              chosen algorithm and print the metrics and Gantt chart.
+``compare``   Run the EXP-A style comparison sweep and print the summary table.
+``mstar``     Print the m*(μ) curve of Figure 8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis.experiments import sweep_workloads
+from .analysis.gantt import gantt_chart
+from .analysis.metrics import evaluate_schedule
+from .baselines.gang import GangScheduler
+from .baselines.ludwig import LudwigScheduler
+from .baselines.sequential import SequentialLPTScheduler
+from .baselines.turek import TurekScheduler
+from .core.mrt import MRTScheduler
+from .core import theory
+from .model.instance import Instance
+from .scheduler import Scheduler
+from .workloads.generators import WORKLOAD_FAMILIES, make_workload
+from .workloads.ocean import ocean_instance
+
+__all__ = ["main", "build_parser", "ALGORITHMS"]
+
+#: CLI algorithm registry.
+ALGORITHMS: dict[str, type | object] = {
+    "mrt": MRTScheduler,
+    "ludwig": LudwigScheduler,
+    "turek": TurekScheduler,
+    "sequential": SequentialLPTScheduler,
+    "gang": GangScheduler,
+}
+
+
+def _make_scheduler(name: str) -> Scheduler:
+    if name not in ALGORITHMS:
+        raise SystemExit(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name]()  # type: ignore[operator]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Malleable-task scheduling (Mounié–Rapine–Trystram SPAA'99 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic instance as JSON")
+    gen.add_argument("--family", default="mixed", choices=sorted(WORKLOAD_FAMILIES) + ["ocean"])
+    gen.add_argument("--tasks", type=int, default=32)
+    gen.add_argument("--procs", type=int, default=16)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", type=Path, default=None, help="JSON output path (stdout by default)")
+
+    sch = sub.add_parser("schedule", help="schedule an instance and print metrics")
+    sch.add_argument("--algorithm", default="mrt", choices=sorted(ALGORITHMS))
+    sch.add_argument("--input", type=Path, default=None, help="instance JSON (otherwise generate)")
+    sch.add_argument("--family", default="mixed", choices=sorted(WORKLOAD_FAMILIES) + ["ocean"])
+    sch.add_argument("--tasks", type=int, default=32)
+    sch.add_argument("--procs", type=int, default=16)
+    sch.add_argument("--seed", type=int, default=0)
+    sch.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    cmp_ = sub.add_parser("compare", help="run the EXP-A comparison sweep")
+    cmp_.add_argument("--tasks", type=int, default=30)
+    cmp_.add_argument("--procs", type=int, nargs="+", default=[8, 16, 32])
+    cmp_.add_argument("--repetitions", type=int, default=2)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument(
+        "--families",
+        nargs="+",
+        default=["uniform", "mixed", "heavy-tailed", "rigid-heavy"],
+        choices=sorted(WORKLOAD_FAMILIES),
+    )
+
+    mstar = sub.add_parser("mstar", help="print the m*(mu) curve of Figure 8")
+    mstar.add_argument("--mu-min", type=float, default=0.75)
+    mstar.add_argument("--mu-max", type=float, default=0.95)
+    mstar.add_argument("--points", type=int, default=21)
+    return parser
+
+
+def _load_or_generate(args: argparse.Namespace) -> Instance:
+    if getattr(args, "input", None):
+        return Instance.from_json(Path(args.input).read_text())
+    if args.family == "ocean":
+        return ocean_instance(args.procs, seed=args.seed)
+    return make_workload(args.family, args.tasks, args.procs, seed=args.seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "generate":
+        instance = _load_or_generate(args)
+        payload = instance.to_json()
+        if args.output:
+            args.output.write_text(payload)
+            print(f"wrote {instance.num_tasks} tasks, m={instance.num_procs} to {args.output}")
+        else:
+            print(payload)
+        return 0
+
+    if args.command == "schedule":
+        instance = _load_or_generate(args)
+        scheduler = _make_scheduler(args.algorithm)
+        schedule = scheduler.schedule(instance)
+        metrics = evaluate_schedule(schedule)
+        print(
+            f"algorithm={metrics.algorithm} makespan={metrics.makespan:.6g} "
+            f"lower_bound={metrics.lower_bound:.6g} ratio<={metrics.ratio:.4f} "
+            f"utilization={metrics.utilization:.3f}"
+        )
+        if args.gantt:
+            print(gantt_chart(schedule))
+        return 0
+
+    if args.command == "compare":
+        result = sweep_workloads(
+            families=args.families,
+            num_tasks=args.tasks,
+            machine_sizes=args.procs,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+        print(result.summary_table())
+        return 0
+
+    if args.command == "mstar":
+        mus = np.linspace(args.mu_min, args.mu_max, args.points)
+        print("mu      k*   k^   m*")
+        for mu in mus:
+            print(
+                f"{mu:.4f}  {theory.k_star(float(mu)):3d}  "
+                f"{theory.k_hat(float(mu)):3d}  {theory.m_star(float(mu)):3d}"
+            )
+        print(f"(anchor: m*(sqrt(3)/2) = {theory.m_star(theory.MU_STAR)})")
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Knapsack solvers used by the allotment selection (Sections 4.3 and 4.4).
+
+The paper reformulates the choice of the tasks moved to the second shelf as
+the knapsack problem
+
+    (KS)   maximise Σ_{i∈S} profit_i   subject to   Σ_{i∈S} weight_i ≤ capacity,
+
+with integral weights (the second-shelf allotments ``d_i ≤ m``) and integral
+profits (the canonical allotments ``γ_i ≤ m``).  Three solvers are provided:
+
+* :func:`knapsack_max_profit` — the exact pseudo-polynomial dynamic program
+  in ``O(n · capacity)`` time and space, appropriate because the capacity is
+  at most the number of processors ``m``;
+* :func:`knapsack_min_weight` — the *dual* knapsack (KS') of Section 4.4:
+  minimise the total weight subject to reaching a target profit, solved by a
+  DP over the profit dimension;
+* :func:`knapsack_fptas` — the classical fully polynomial approximation
+  scheme (profit scaling) delivering a ``(1 − ε)``-approximate profit in
+  ``O(n³/ε)``; the paper uses it (Lemma 2) when ``m`` is exponential in the
+  input size, making the exact DP non-polynomial.
+
+All solvers return a :class:`KnapsackSolution` containing the selected item
+indices, so callers can reconstruct the two-shelf schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = [
+    "KnapsackItem",
+    "KnapsackSolution",
+    "knapsack_max_profit",
+    "knapsack_min_weight",
+    "knapsack_fptas",
+]
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """An item with integral weight and profit; ``key`` identifies it to the caller."""
+
+    key: int
+    weight: int
+    profit: int
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """Selected item keys with their total weight and profit."""
+
+    keys: tuple[int, ...]
+    weight: int
+    profit: int
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.keys
+
+
+def _validate_items(items: Sequence[KnapsackItem]) -> None:
+    for item in items:
+        if item.weight < 0 or item.profit < 0:
+            raise ModelError("knapsack items must have non-negative weight and profit")
+
+
+def knapsack_max_profit(
+    items: Sequence[KnapsackItem], capacity: int
+) -> KnapsackSolution:
+    """Exact 0/1 knapsack by dynamic programming over the capacity.
+
+    ``dp[c]`` is the best profit achievable with total weight exactly ≤ c;
+    parent pointers reconstruct the selected set.  Complexity
+    ``O(n · capacity)`` time, ``O(n · capacity)`` space (kept explicit for
+    clarity; capacities here are bounded by the machine size).
+    """
+    _validate_items(items)
+    if capacity < 0:
+        return KnapsackSolution(keys=(), weight=0, profit=0)
+    n = len(items)
+    dp = np.zeros((n + 1, capacity + 1), dtype=np.int64)
+    take = np.zeros((n + 1, capacity + 1), dtype=bool)
+    for idx in range(1, n + 1):
+        item = items[idx - 1]
+        w, p = item.weight, item.profit
+        dp[idx] = dp[idx - 1]
+        if w <= capacity:
+            candidate = dp[idx - 1, : capacity - w + 1] + p
+            better = candidate > dp[idx, w:]
+            dp[idx, w:][better] = candidate[better]
+            take[idx, w:][better] = True
+    # Reconstruct.
+    keys: list[int] = []
+    c = int(np.argmax(dp[n]))
+    best_profit = int(dp[n, c])
+    total_weight = 0
+    for idx in range(n, 0, -1):
+        if take[idx, c]:
+            item = items[idx - 1]
+            keys.append(item.key)
+            total_weight += item.weight
+            c -= item.weight
+    keys.reverse()
+    return KnapsackSolution(keys=tuple(keys), weight=total_weight, profit=best_profit)
+
+
+def knapsack_min_weight(
+    items: Sequence[KnapsackItem], target_profit: int
+) -> KnapsackSolution | None:
+    """Dual knapsack (KS'): minimise total weight subject to profit ≥ target.
+
+    Returns ``None`` when even taking every item does not reach the target.
+    Complexity ``O(n · Σ profits)``.
+    """
+    _validate_items(items)
+    total_profit = sum(item.profit for item in items)
+    if target_profit <= 0:
+        return KnapsackSolution(keys=(), weight=0, profit=0)
+    if total_profit < target_profit:
+        return None
+    cap = total_profit
+    INF = np.iinfo(np.int64).max // 4
+    n = len(items)
+    dp = np.full((n + 1, cap + 1), INF, dtype=np.int64)
+    take = np.zeros((n + 1, cap + 1), dtype=bool)
+    dp[:, 0] = 0
+    for idx in range(1, n + 1):
+        item = items[idx - 1]
+        w, p = item.weight, item.profit
+        dp[idx] = dp[idx - 1]
+        if p > 0:
+            shifted = np.full(cap + 1, INF, dtype=np.int64)
+            shifted[p:] = dp[idx - 1, : cap - p + 1]
+            feasible = shifted < INF
+            candidate = np.where(feasible, shifted + w, INF)
+            better = candidate < dp[idx]
+            dp[idx][better] = candidate[better]
+            take[idx][better] = True
+        else:
+            # Zero-profit items never help the dual objective.
+            pass
+    # Best profit level ≥ target with minimal weight.
+    best_level = -1
+    best_weight = INF
+    for level in range(target_profit, cap + 1):
+        if dp[n, level] < best_weight:
+            best_weight = int(dp[n, level])
+            best_level = level
+    if best_level < 0 or best_weight >= INF:
+        return None
+    keys: list[int] = []
+    level = best_level
+    for idx in range(n, 0, -1):
+        if take[idx, level]:
+            item = items[idx - 1]
+            keys.append(item.key)
+            level -= item.profit
+    keys.reverse()
+    profit = sum(item.profit for item in items if item.key in set(keys))
+    weight = sum(item.weight for item in items if item.key in set(keys))
+    return KnapsackSolution(keys=tuple(keys), weight=weight, profit=profit)
+
+
+def knapsack_fptas(
+    items: Sequence[KnapsackItem], capacity: int, eps: float
+) -> KnapsackSolution:
+    """FPTAS for the maximisation knapsack (profit scaling).
+
+    Returns a feasible solution whose profit is at least ``(1 − eps)`` times
+    the optimum.  Items heavier than the capacity are discarded.  Complexity
+    ``O(n²·⌈n/eps⌉)`` in the worst case (standard textbook bound).
+    """
+    if eps <= 0 or eps >= 1:
+        raise ModelError("eps must lie in (0, 1)")
+    _validate_items(items)
+    usable = [item for item in items if item.weight <= capacity]
+    if not usable:
+        return KnapsackSolution(keys=(), weight=0, profit=0)
+    pmax = max(item.profit for item in usable)
+    if pmax == 0:
+        return KnapsackSolution(keys=(), weight=0, profit=0)
+    n = len(usable)
+    scale = eps * pmax / n
+    if scale < 1.0:
+        # Scaling would not reduce the profits: solve exactly over profits.
+        scale = 1.0
+    scaled = [
+        KnapsackItem(key=item.key, weight=item.weight, profit=int(item.profit / scale))
+        for item in usable
+    ]
+    # DP over scaled profit: minimal weight to reach each scaled profit level.
+    total_scaled = sum(item.profit for item in scaled)
+    INF = float("inf")
+    min_weight = [0.0] + [INF] * total_scaled
+    choice: list[dict[int, bool]] = [dict() for _ in range(total_scaled + 1)]
+    selected_sets: list[list[int]] = [[] for _ in range(total_scaled + 1)]
+    for item, original in zip(scaled, usable):
+        for level in range(total_scaled, item.profit - 1, -1):
+            cand = min_weight[level - item.profit] + item.weight
+            if cand < min_weight[level]:
+                min_weight[level] = cand
+                selected_sets[level] = selected_sets[level - item.profit] + [item.key]
+    best_level = 0
+    for level in range(total_scaled + 1):
+        if min_weight[level] <= capacity and level > best_level:
+            best_level = level
+    keys = tuple(selected_sets[best_level])
+    key_set = set(keys)
+    weight = sum(item.weight for item in items if item.key in key_set)
+    profit = sum(item.profit for item in items if item.key in key_set)
+    return KnapsackSolution(keys=keys, weight=weight, profit=profit)

@@ -1,0 +1,133 @@
+"""Malleable List Algorithm (Section 3.1, Theorem 1).
+
+Given a guess ``d`` such that a schedule of length at most ``d`` is assumed
+to exist, the algorithm works in two phases with the threshold
+``θ_m = 2 − 2/(m+1)``:
+
+* **Allotment** — every task receives the minimal number of processors whose
+  execution time is at most ``θ_m·d``.  Because ``θ_m ≥ 1`` this allotment is
+  component-wise at most the canonical allotment of ``d`` used by an optimal
+  schedule, so Property 2 bounds its total work by ``m·d``.
+* **Scheduling** — every *parallel* task (two or more processors) starts at
+  time 0; Property 1 gives each of them an execution time greater than
+  ``θ_m·d/2``, so their total width is less than ``2m/θ_m = m+1``, i.e. at
+  most ``m`` — they all fit side by side.  The remaining *sequential* tasks
+  are scheduled with the LPT rule (longest processing time first) on the
+  availability profile left by the parallel tasks.
+
+Theorem 1 shows the result is a dual ``(2 − 2/(m+1))``-approximation.  The
+factor is below √3 for every ``m ≤ 6``, which is why the combined scheduler
+of Section 5 only needs the knapsack machinery on larger machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SchedulingError
+from ..lower_bounds import canonical_area_lower_bound, trivial_lower_bound
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..model.task import EPS
+from ..scheduler import Scheduler
+from .dual import DualSearchResult, dual_search
+from .list_scheduling import contiguous_list_schedule
+
+__all__ = [
+    "malleable_list_guarantee",
+    "MalleableListDual",
+    "MalleableListScheduler",
+]
+
+
+def malleable_list_guarantee(num_procs: int) -> float:
+    """The dual-approximation factor ``θ_m = 2 − 2/(m+1)`` of Theorem 1."""
+    if num_procs < 1:
+        raise ValueError("num_procs must be >= 1")
+    return 2.0 - 2.0 / (num_procs + 1)
+
+
+class MalleableListDual:
+    """Dual ``(2 − 2/(m+1))``-approximation of Section 3.1.
+
+    The guarantee ``rho`` depends on the machine size, so it is fixed when
+    the object is bound to an instance via :meth:`for_instance` (the
+    :func:`repro.core.dual.dual_search` driver only reads ``rho`` for
+    documentation purposes; correctness comes from :meth:`run`).
+    """
+
+    def __init__(self, rho: float | None = None) -> None:
+        #: guarantee factor; refreshed per instance in :meth:`run`.
+        self.rho = rho if rho is not None else 2.0
+
+    def run(self, instance: Instance, guess: float) -> Schedule | None:
+        """Return a schedule of length ≤ ``θ_m·guess`` or ``None`` (reject)."""
+        if guess <= 0:
+            return None
+        m = instance.num_procs
+        theta = malleable_list_guarantee(m)
+        self.rho = theta
+        threshold = theta * guess
+        # --- allotment phase -------------------------------------------------
+        procs = []
+        for task in instance.tasks:
+            p = task.canonical_procs(threshold)
+            if p is None:
+                # Even m processors cannot meet θ·d, hence cannot meet d either.
+                return None
+            procs.append(p)
+        allotment = Allotment(instance, procs)
+        # Property 2 rejection certificate: the allotment is component-wise at
+        # most the canonical allotment of ``guess`` (θ ≥ 1), so if a schedule
+        # of length ``guess`` existed its total work would be at most m·guess.
+        if allotment.total_work() > m * guess + EPS * max(1.0, guess):
+            return None
+        # --- scheduling phase -------------------------------------------------
+        parallel = [i for i in range(instance.num_tasks) if allotment[i] >= 2]
+        sequential = [i for i in range(instance.num_tasks) if allotment[i] == 1]
+        total_parallel_width = sum(allotment[i] for i in parallel)
+        if total_parallel_width > m:
+            # Theorem 1 proves this cannot happen when a schedule of length
+            # ``guess`` exists (each parallel task is wider than θ·guess/2 in
+            # time); reaching this point is therefore a sound rejection.
+            return None
+        schedule = Schedule(instance, algorithm="malleable-list")
+        avail = np.zeros(m)
+        cursor = 0
+        for i in parallel:
+            width = allotment[i]
+            schedule.add(i, 0.0, cursor, width)
+            avail[cursor : cursor + width] = instance.tasks[i].time(width)
+            cursor += width
+        # LPT on the remaining availability profile: longest sequential task
+        # first, each on the earliest available single processor.
+        sequential.sort(key=lambda i: -instance.tasks[i].time(1))
+        for i in sequential:
+            proc = int(np.argmin(avail))
+            start = float(avail[proc])
+            duration = instance.tasks[i].time(1)
+            schedule.add(i, start, proc, 1)
+            avail[proc] = start + duration
+        schedule.validate()
+        return schedule
+
+
+class MalleableListScheduler(Scheduler):
+    """Stand-alone scheduler wrapping :class:`MalleableListDual` in a search.
+
+    Guarantee: ``(2 − 2/(m+1))(1+ε)``-approximation of the optimal makespan.
+    """
+
+    name = "malleable-list"
+
+    def __init__(self, *, eps: float = 1e-3) -> None:
+        self.eps = eps
+        self.last_result: DualSearchResult | None = None
+
+    def schedule(self, instance: Instance) -> Schedule:
+        dual = MalleableListDual()
+        result = dual_search(dual, instance, eps=self.eps)
+        self.last_result = result
+        result.schedule.validate()
+        return result.schedule

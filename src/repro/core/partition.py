@@ -1,0 +1,173 @@
+"""Canonical partition of the tasks used by the knapsack-based algorithm (§4.1).
+
+For a guess ``d`` (the assumed optimal makespan) and a shelf parameter
+``λ ∈ (1/2, 1]`` the tasks are partitioned by their *canonical* execution
+time ``t_i(γ_i(d))``:
+
+* ``T1`` — canonical time greater than ``λ·d``.  These tasks fit the first
+  shelf (height ``d``) at their canonical allotment but need *strictly more*
+  processors (``d_i = γ_i(λ·d)``) to enter the second shelf (height ``λ·d``).
+* ``T2`` — canonical time in ``(d/2, λ·d]``.  They fit the second shelf at
+  their canonical allotment.
+* ``T3`` — canonical time at most ``d/2``.  By Property 1 these tasks are
+  sequential; they are packed onto processors with First Fit.
+
+The partition also records the quantities used throughout Section 4:
+``q1 = Σ_{T1} γ_i``, ``q2 = Σ_{T2} γ_i``, ``q3 = FF(λ·d, T3)`` (processors
+needed by First Fit for the small tasks under the second-shelf deadline) and
+the canonical areas of the three sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..model.instance import Instance
+from ..model.task import EPS
+from ..packing.bin_packing import BinPackingResult, first_fit
+from .properties import CanonicalAllotment, canonical_allotment
+
+__all__ = ["LAMBDA_STAR", "CanonicalPartition", "build_partition", "inefficiency_factor"]
+
+#: The paper's choice of the second-shelf parameter: 1 + λ = √3.
+LAMBDA_STAR: float = math.sqrt(3.0) - 1.0
+
+
+def inefficiency_factor(work_parallel: float, work_canonical: float) -> float:
+    """Inefficiency factor ``μ = work(q) / work(γ)`` of Section 4.2.
+
+    The expansion of a task's area when it is executed on more processors
+    than its canonical number (both areas are measured for the same guess).
+    Always at least 1 for monotonic tasks.
+    """
+    if work_canonical <= 0:
+        raise ModelError("canonical work must be positive")
+    return work_parallel / work_canonical
+
+
+@dataclass
+class CanonicalPartition:
+    """The T1/T2/T3 partition of an instance for a guess ``d`` and parameter λ.
+
+    Attributes
+    ----------
+    instance, guess, lam:
+        The inputs of the partition.
+    alloc:
+        The canonical allotment γ(d) of every task.
+    t1, t2, t3:
+        Task indices of the three classes (sorted).
+    shelf2_procs:
+        ``shelf2_procs[i] = d_i`` for tasks of ``T1`` — the minimal processors
+        executing task ``i`` within ``λ·d`` — or ``None`` when even ``m``
+        processors are not enough (the task is then pinned to the first
+        shelf).
+    q1, q2, q3:
+        Processor counts of Section 4.1.
+    small_packing:
+        The First-Fit packing of the T3 durations under capacity ``λ·d``.
+    """
+
+    instance: Instance
+    guess: float
+    lam: float
+    alloc: CanonicalAllotment
+    t1: list[int] = field(default_factory=list)
+    t2: list[int] = field(default_factory=list)
+    t3: list[int] = field(default_factory=list)
+    shelf2_procs: dict[int, int | None] = field(default_factory=dict)
+    q1: int = 0
+    q2: int = 0
+    q3: int = 0
+    small_packing: BinPackingResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # canonical areas of the three sets (used by the theory module)
+    # ------------------------------------------------------------------ #
+    def canonical_area(self, indices: list[int]) -> float:
+        """Total canonical work of the tasks at ``indices``."""
+        return float(sum(self.alloc.works[i] for i in indices))
+
+    @property
+    def area_t1(self) -> float:
+        """Canonical area of T1."""
+        return self.canonical_area(self.t1)
+
+    @property
+    def area_t2(self) -> float:
+        """Canonical area of T2."""
+        return self.canonical_area(self.t2)
+
+    @property
+    def area_t3(self) -> float:
+        """Canonical area of T3."""
+        return self.canonical_area(self.t3)
+
+    @property
+    def free_shelf2(self) -> int:
+        """Processors of the second shelf left free by T2 and T3: ``m − q2 − q3``."""
+        return self.instance.num_procs - self.q2 - self.q3
+
+    def required_gamma(self) -> int:
+        """Minimal ``Σ_S γ_i`` a subset S ⊆ T1 moved to shelf 2 must reach.
+
+        Shelf 1 holds the tasks of T1 not in S at their canonical allotment,
+        so feasibility requires ``q1 − Σ_S γ_i ≤ m``.
+        """
+        return max(0, self.q1 - self.instance.num_procs)
+
+    def knapsack_items(self) -> list[tuple[int, int, int]]:
+        """Items of the knapsack (KS): ``(task_index, weight=d_i, profit=γ_i)``.
+
+        Tasks of T1 whose ``d_i`` does not exist are pinned to shelf 1 and
+        excluded.
+        """
+        items = []
+        for i in self.t1:
+            d_i = self.shelf2_procs[i]
+            if d_i is not None:
+                items.append((i, d_i, int(self.alloc.procs[i])))
+        return items
+
+    def pinned_to_shelf1(self) -> list[int]:
+        """Tasks of T1 that cannot fit the second shelf on any allotment."""
+        return [i for i in self.t1 if self.shelf2_procs[i] is None]
+
+
+def build_partition(
+    instance: Instance, guess: float, lam: float = LAMBDA_STAR
+) -> CanonicalPartition | None:
+    """Build the T1/T2/T3 partition, or ``None`` when some γ_i(d) does not exist."""
+    if guess <= 0:
+        return None
+    if not 0.5 < lam <= 1.0:
+        raise ModelError("lambda must lie in (1/2, 1]")
+    alloc = canonical_allotment(instance, guess)
+    if alloc is None:
+        return None
+    part = CanonicalPartition(instance=instance, guess=guess, lam=lam, alloc=alloc)
+    half = guess / 2.0
+    shelf2_deadline = lam * guess
+    for i, task in enumerate(instance.tasks):
+        t_canon = float(alloc.times[i])
+        if t_canon > shelf2_deadline + EPS:
+            part.t1.append(i)
+            part.shelf2_procs[i] = task.canonical_procs(shelf2_deadline)
+        elif t_canon > half + EPS:
+            part.t2.append(i)
+        else:
+            part.t3.append(i)
+    part.q1 = int(sum(alloc.procs[i] for i in part.t1))
+    part.q2 = int(sum(alloc.procs[i] for i in part.t2))
+    small_sizes = [float(alloc.times[i]) for i in part.t3]
+    if small_sizes:
+        part.small_packing = first_fit(small_sizes, shelf2_deadline)
+        part.q3 = part.small_packing.num_bins
+    else:
+        part.small_packing = None
+        part.q3 = 0
+    return part

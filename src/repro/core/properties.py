@@ -1,0 +1,136 @@
+"""Monotonicity properties of Section 2.1 and the canonical μ-area.
+
+These are the small facts every algorithm of the paper is built on:
+
+* **Canonical number of processors** γ_i(d): the minimal number of processors
+  executing task ``i`` within the deadline ``d``.  When it does not exist the
+  guess ``d`` is infeasible.
+* **Property 1** — if γ_i(d) exists then ``W_i(γ_i(d)) > (γ_i(d) − 1)·d``;
+  in particular a task canonically allotted at least two processors runs for
+  strictly more than ``(γ−1)/γ · d ≥ d/2``, and a task with canonical time at
+  most ``d/2`` is sequential.
+* **Property 2** — if a schedule of length at most ``d`` exists, then for any
+  allotment ``q`` with ``q_i ≤ γ_i^{opt}`` component-wise (in particular the
+  canonical allotment of any deadline ``≥ d``), ``Σ_i W_i(q_i) ≤ m·d``.
+  Violation of this inequality by the canonical allotment of ``d`` is the
+  rejection certificate of every dual algorithm in the package.
+* **Definition 1** — the canonical μ-area ``W_m``, the fractional area
+  computed by the first ``m`` processors when the canonical allotment is laid
+  out on an unbounded machine in order of non-increasing canonical time.
+
+Functions here are deliberately small and side-effect free; they are heavily
+exercised by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.instance import Instance
+from ..model.task import EPS, MalleableTask
+
+__all__ = [
+    "CanonicalAllotment",
+    "canonical_allotment",
+    "property1_holds",
+    "property2_bound_holds",
+    "is_small_sequential",
+    "mu_area",
+]
+
+
+@dataclass(frozen=True)
+class CanonicalAllotment:
+    """Canonical allotment γ(d) of an instance for a deadline ``d``.
+
+    Attributes
+    ----------
+    deadline:
+        The guess ``d`` the allotment refers to.
+    procs:
+        ``procs[i] = γ_i(d)``.
+    times:
+        ``times[i] = t_i(γ_i(d))`` — the canonical execution times.
+    works:
+        ``works[i] = γ_i(d) · t_i(γ_i(d))`` — the canonical works/areas.
+    """
+
+    deadline: float
+    procs: np.ndarray
+    times: np.ndarray
+    works: np.ndarray
+
+    @property
+    def total_work(self) -> float:
+        """``Σ_i W_i(γ_i(d))``."""
+        return float(self.works.sum())
+
+    @property
+    def total_procs(self) -> int:
+        """``Σ_i γ_i(d)``."""
+        return int(self.procs.sum())
+
+    def __len__(self) -> int:
+        return int(self.procs.size)
+
+
+def canonical_allotment(instance: Instance, deadline: float) -> CanonicalAllotment | None:
+    """Compute γ(d) for every task, or ``None`` when some task cannot meet ``d``."""
+    procs = np.empty(instance.num_tasks, dtype=int)
+    times = np.empty(instance.num_tasks, dtype=float)
+    works = np.empty(instance.num_tasks, dtype=float)
+    for i, task in enumerate(instance.tasks):
+        p = task.canonical_procs(deadline)
+        if p is None:
+            return None
+        procs[i] = p
+        times[i] = task.time(p)
+        works[i] = task.work(p)
+    return CanonicalAllotment(deadline=float(deadline), procs=procs, times=times, works=works)
+
+
+def property1_holds(task: MalleableTask, deadline: float, *, tol: float = 1e-9) -> bool:
+    """Check Property 1 for a single task and deadline.
+
+    ``W(γ(d)) >= (γ(d) − 1)·d`` (with strictness relaxed to a tolerance so
+    that boundary profiles built from exact rationals do not fail).  Returns
+    True vacuously when γ(d) does not exist.
+    """
+    p = task.canonical_procs(deadline)
+    if p is None:
+        return True
+    return task.work(p) >= (p - 1) * deadline - tol * max(1.0, deadline)
+
+
+def property2_bound_holds(
+    instance: Instance, deadline: float, *, tol: float = 1e-9
+) -> bool | None:
+    """Property 2 test: ``Σ W_i(γ_i(d)) <= m·d``.
+
+    Returns ``None`` when some γ_i(d) does not exist (which is itself an
+    infeasibility certificate), ``True``/``False`` otherwise.  ``False``
+    certifies that no schedule of length at most ``d`` exists.
+    """
+    alloc = canonical_allotment(instance, deadline)
+    if alloc is None:
+        return None
+    return bool(
+        alloc.total_work <= instance.num_procs * deadline + tol * max(1.0, deadline)
+    )
+
+
+def is_small_sequential(task: MalleableTask, deadline: float) -> bool:
+    """Whether the canonical execution time is at most ``d/2``.
+
+    By Property 1 such tasks are sequential (γ = 1); they are the set T3 of
+    the two-shelf partition and the "small" tasks of Lemma 1.
+    """
+    t = task.canonical_time(deadline)
+    return t is not None and t <= deadline / 2.0 + EPS
+
+
+def mu_area(instance: Instance, deadline: float) -> float | None:
+    """Canonical μ-area ``W_m`` of Definition 1 (delegates to the instance)."""
+    return instance.mu_area(deadline)

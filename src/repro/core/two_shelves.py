@@ -1,0 +1,364 @@
+"""λ-schedules: the knapsack-based two-shelf construction of Section 4.
+
+A **λ-schedule** for a guess ``d`` packs the tasks into two consecutive
+shelves: the first shelf spans ``[0, d]`` and only contains tasks of ``T1``
+at their canonical allotment γ_i(d); the second shelf spans ``[d, (1+λ)·d]``
+and contains the remaining tasks of ``T1`` (each shrunk in time by enlarging
+its allotment to ``d_i = γ_i(λ·d)`` processors), every task of ``T2`` at its
+canonical allotment, and the small sequential tasks of ``T3`` packed First
+Fit under the shelf deadline ``λ·d``.  Such a schedule has makespan at most
+``(1 + λ)·d``, which equals ``√3·d`` for the paper's choice ``λ = √3 − 1``.
+
+Selecting which T1 tasks move to the second shelf is the knapsack problem
+(KS) of Section 4.3: moving task ``i`` costs ``d_i`` processors of the second
+shelf and relieves ``γ_i`` processors of the first shelf.  A subset
+``S ⊆ T1`` is feasible (``S ∈ Γλ``) iff
+
+* ``Σ_{T1∖S} γ_i ≤ m``   (the first shelf fits), and
+* ``Σ_S d_i ≤ m − q2 − q3``   (the second shelf fits next to T2 and T3).
+
+This module provides the feasibility test, the trivial-solution detection of
+Section 4.5, the knapsack-driven subset selection (exact DP, dual knapsack or
+FPTAS), the λ-schedule builder, the greedy candidate series of Lemma 4 (used
+by the FIG6 benchmark) and a :class:`TwoShelfDual` wrapper usable with the
+dichotomic search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..exceptions import InfeasibleError
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..model.task import EPS
+from ..packing.bin_packing import first_fit
+from .knapsack import KnapsackItem, knapsack_fptas, knapsack_max_profit, knapsack_min_weight
+from .partition import LAMBDA_STAR, CanonicalPartition, build_partition
+
+__all__ = [
+    "is_feasible_subset",
+    "find_trivial_solution",
+    "select_shelf2_subset",
+    "build_lambda_schedule",
+    "build_trivial_schedule",
+    "candidate_series",
+    "SeriesStep",
+    "TwoShelfDual",
+]
+
+
+# --------------------------------------------------------------------------- #
+# feasibility of a subset S ⊆ T1  (membership in Γλ)
+# --------------------------------------------------------------------------- #
+def is_feasible_subset(part: CanonicalPartition, subset: Iterable[int]) -> bool:
+    """Whether ``subset ⊆ T1`` defines a feasible λ-schedule (``subset ∈ Γλ``)."""
+    chosen = set(subset)
+    if not chosen.issubset(set(part.t1)):
+        return False
+    gamma_moved = sum(int(part.alloc.procs[i]) for i in chosen)
+    if part.q1 - gamma_moved > part.instance.num_procs:
+        return False
+    width_shelf2 = 0
+    for i in chosen:
+        d_i = part.shelf2_procs[i]
+        if d_i is None:
+            return False
+        width_shelf2 += d_i
+    return width_shelf2 <= part.free_shelf2
+
+
+# --------------------------------------------------------------------------- #
+# trivial solutions (Section 4.5)
+# --------------------------------------------------------------------------- #
+def find_trivial_solution(part: CanonicalPartition) -> int | None:
+    """A single T1 task that alone in the second shelf makes everything fit.
+
+    Task ``τ`` is a trivial solution when (i) it can run within ``λ·d`` on at
+    most ``m`` processors and (ii) all the *other* tasks — the rest of T1 and
+    all of T2 at their canonical allotments, plus T3 packed First Fit under
+    the first-shelf deadline ``d`` — fit side by side on the first shelf.
+    Returns the task index or ``None``.
+    """
+    m = part.instance.num_procs
+    if not part.t1:
+        return None
+    # Processors used on shelf 1 by T2 and T3 in the trivial configuration.
+    q2 = part.q2
+    small_sizes = [float(part.alloc.times[i]) for i in part.t3]
+    q3_first_shelf = (
+        first_fit(small_sizes, part.guess).num_bins if small_sizes else 0
+    )
+    for tau in part.t1:
+        d_tau = part.shelf2_procs[tau]
+        if d_tau is None or d_tau > m:
+            continue
+        others_width = part.q1 - int(part.alloc.procs[tau])
+        if others_width + q2 + q3_first_shelf <= m:
+            return tau
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# knapsack-driven subset selection (Sections 4.3 and 4.4)
+# --------------------------------------------------------------------------- #
+def select_shelf2_subset(
+    part: CanonicalPartition,
+    *,
+    method: str = "exact",
+    eps: float = 0.1,
+) -> set[int] | None:
+    """Find ``S ∈ Γλ`` using the knapsack formulation, or ``None``.
+
+    Parameters
+    ----------
+    part:
+        The canonical partition of the instance.
+    method:
+        ``"exact"`` — pseudo-polynomial DP on (KS) (capacity is the free
+        width of the second shelf, at most ``m``);
+        ``"dual"`` — dual knapsack (KS'): minimise the second-shelf width
+        subject to relieving enough first-shelf processors;
+        ``"fptas"`` — the approximation scheme of Section 4.4 applied to
+        (KS), falling back to (KS') exactly as in Lemma 2 when the
+        approximate profit does not reach the requirement.
+    eps:
+        Accuracy of the FPTAS (ignored by the other methods).
+    """
+    if method not in ("exact", "dual", "fptas"):
+        raise ValueError(f"unknown knapsack method {method!r}")
+    if part.free_shelf2 < 0:
+        return None
+    required = part.required_gamma()
+    items = [
+        KnapsackItem(key=i, weight=w, profit=p) for i, w, p in part.knapsack_items()
+    ]
+    if required == 0:
+        # The empty set is feasible as soon as shelf 2 fits T2 and T3.
+        return set()
+    if method == "exact":
+        solution = knapsack_max_profit(items, part.free_shelf2)
+        if solution.profit >= required:
+            return set(solution.keys)
+        return None
+    if method == "dual":
+        solution = knapsack_min_weight(items, required)
+        if solution is not None and solution.weight <= part.free_shelf2:
+            return set(solution.keys)
+        return None
+    if method == "fptas":
+        primal = knapsack_fptas(items, part.free_shelf2, eps)
+        if primal.profit >= required:
+            return set(primal.keys)
+        # Lemma 2: when the (1−ε)-approximate profit misses the requirement,
+        # the dual knapsack provides the element of Γλ (if any exists).
+        dual = knapsack_min_weight(items, required)
+        if dual is not None and dual.weight <= part.free_shelf2:
+            return set(dual.keys)
+        return None
+    raise ValueError(f"unknown knapsack method {method!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- #
+# λ-schedule construction
+# --------------------------------------------------------------------------- #
+def build_lambda_schedule(
+    part: CanonicalPartition, shelf2_t1: Iterable[int]
+) -> Schedule:
+    """Materialise the λ-schedule defined by the subset ``shelf2_t1 ⊆ T1``.
+
+    Shelf 1 (``[0, d]``) holds T1∖S at canonical allotments; shelf 2
+    (``[d, (1+λ)·d]``) holds S at their ``d_i`` allotments, T2 at canonical
+    allotments and T3 packed First Fit.  Raises
+    :class:`~repro.exceptions.InfeasibleError` when the subset is not in Γλ.
+    """
+    chosen = set(shelf2_t1)
+    if not is_feasible_subset(part, chosen):
+        raise InfeasibleError("the chosen subset does not define a feasible λ-schedule")
+    instance = part.instance
+    schedule = Schedule(instance, algorithm="two-shelves")
+    # ---- shelf 1 --------------------------------------------------------- #
+    cursor = 0
+    for i in part.t1:
+        if i in chosen:
+            continue
+        width = int(part.alloc.procs[i])
+        schedule.add(i, 0.0, cursor, width)
+        cursor += width
+    # ---- shelf 2 --------------------------------------------------------- #
+    start = part.guess
+    cursor2 = 0
+    for i in sorted(chosen):
+        width = part.shelf2_procs[i]
+        assert width is not None  # guaranteed by feasibility
+        schedule.add(i, start, cursor2, width)
+        cursor2 += width
+    for i in part.t2:
+        width = int(part.alloc.procs[i])
+        schedule.add(i, start, cursor2, width)
+        cursor2 += width
+    if part.t3:
+        packing = part.small_packing
+        assert packing is not None
+        for b, bin_items in enumerate(packing.bins):
+            proc = cursor2 + b
+            offset = 0.0
+            for local_index in bin_items:
+                task_index = part.t3[local_index]
+                duration = float(part.alloc.times[task_index])
+                schedule.add(task_index, start + offset, proc, 1)
+                offset += duration
+        cursor2 += packing.num_bins
+    schedule.validate(deadline=(1.0 + part.lam) * part.guess + EPS)
+    return schedule
+
+
+def build_trivial_schedule(part: CanonicalPartition, tau: int) -> Schedule:
+    """Materialise the trivial λ-schedule of Section 4.5 for the task ``tau``.
+
+    Everything except ``tau`` goes on the first shelf (T1∖{τ} and T2 at
+    canonical allotments, T3 packed First Fit under the deadline ``d``);
+    ``tau`` alone occupies the second shelf on ``d_τ`` processors.
+    """
+    instance = part.instance
+    d_tau = part.shelf2_procs.get(tau)
+    if tau not in part.t1 or d_tau is None or d_tau > instance.num_procs:
+        raise InfeasibleError(f"task {tau} is not a trivial solution")
+    schedule = Schedule(instance, algorithm="two-shelves-trivial")
+    cursor = 0
+    for i in part.t1:
+        if i == tau:
+            continue
+        width = int(part.alloc.procs[i])
+        schedule.add(i, 0.0, cursor, width)
+        cursor += width
+    for i in part.t2:
+        width = int(part.alloc.procs[i])
+        schedule.add(i, 0.0, cursor, width)
+        cursor += width
+    if part.t3:
+        sizes = [float(part.alloc.times[i]) for i in part.t3]
+        packing = first_fit(sizes, part.guess)
+        for b, bin_items in enumerate(packing.bins):
+            proc = cursor + b
+            offset = 0.0
+            for local_index in bin_items:
+                task_index = part.t3[local_index]
+                duration = float(part.alloc.times[task_index])
+                schedule.add(task_index, offset, proc, 1)
+                offset += duration
+        cursor += packing.num_bins
+    if cursor > instance.num_procs:
+        raise InfeasibleError(f"task {tau} is not a trivial solution (shelf 1 overflows)")
+    schedule.add(tau, part.guess, 0, d_tau)
+    schedule.validate(deadline=(1.0 + part.lam) * part.guess + EPS)
+    return schedule
+
+
+# --------------------------------------------------------------------------- #
+# the candidate series of Lemma 4 (Figure 6)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SeriesStep:
+    """One element S_j of the series of Lemma 4.
+
+    Attributes
+    ----------
+    subset:
+        The candidate subset of T1 (indices).
+    gamma_sum:
+        ``Σ_{S_j} γ_i`` (the profit the knapsack must reach).
+    shelf2_width:
+        ``Σ_{S_j} d_i`` (infinite when some task cannot enter shelf 2).
+    canonical_area:
+        Canonical work of the subset.
+    feasible:
+        Whether ``S_j ∈ Γλ``.
+    removed_task:
+        Task removed from the previous step (``None`` for the first step).
+    """
+
+    subset: tuple[int, ...]
+    gamma_sum: int
+    shelf2_width: float
+    canonical_area: float
+    feasible: bool
+    removed_task: int | None
+
+
+def candidate_series(part: CanonicalPartition) -> list[SeriesStep]:
+    """The greedy series S_0 ⊇ S_1 ⊇ … of Lemma 4.
+
+    Starting from all of T1 (restricted to tasks that can enter the second
+    shelf), the task with the greatest inefficiency factor
+    ``W_i(d_i)/W_i(γ_i)`` is removed at each step.  The paper proves that
+    when no trivial solution exists some element of the series belongs to Γλ;
+    the FIG6 benchmark replays this construction.
+    """
+    current = [i for i in part.t1 if part.shelf2_procs[i] is not None]
+
+    def ineff(i: int) -> float:
+        d_i = part.shelf2_procs[i]
+        assert d_i is not None
+        return part.instance.tasks[i].work(d_i) / float(part.alloc.works[i])
+
+    steps: list[SeriesStep] = []
+    removed: int | None = None
+    while True:
+        gamma_sum = int(sum(part.alloc.procs[i] for i in current))
+        width = float(sum(part.shelf2_procs[i] for i in current))  # type: ignore[arg-type]
+        area = float(sum(part.alloc.works[i] for i in current))
+        steps.append(
+            SeriesStep(
+                subset=tuple(current),
+                gamma_sum=gamma_sum,
+                shelf2_width=width,
+                canonical_area=area,
+                feasible=is_feasible_subset(part, current),
+                removed_task=removed,
+            )
+        )
+        if not current:
+            break
+        removed = max(current, key=ineff)
+        current = [i for i in current if i != removed]
+    return steps
+
+
+# --------------------------------------------------------------------------- #
+# dual-approximation wrapper
+# --------------------------------------------------------------------------- #
+class TwoShelfDual:
+    """Dual (1+λ)-approximation based exclusively on the two-shelf branch.
+
+    Used in isolation by the experiments studying the knapsack branch
+    (EXP-C); the complete algorithm combining it with the list branches is
+    :class:`repro.core.mrt.MRTDual`.
+    """
+
+    def __init__(self, lam: float = LAMBDA_STAR, *, method: str = "exact", eps: float = 0.1) -> None:
+        self.lam = lam
+        self.method = method
+        self.eps = eps
+        self.rho = 1.0 + lam
+
+    def run(self, instance: Instance, guess: float) -> Schedule | None:
+        part = build_partition(instance, guess, self.lam)
+        if part is None:
+            return None
+        if part.alloc.total_work > instance.num_procs * guess + EPS * max(1.0, guess):
+            return None
+        tau = find_trivial_solution(part)
+        if tau is not None:
+            try:
+                return build_trivial_schedule(part, tau)
+            except InfeasibleError:
+                pass
+        subset = select_shelf2_subset(part, method=self.method, eps=self.eps)
+        if subset is None:
+            return None
+        try:
+            return build_lambda_schedule(part, subset)
+        except InfeasibleError:
+            return None

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+every error raised by the reproduction with a single ``except`` clause while
+still being able to distinguish modelling errors (bad input data) from
+algorithmic failures (a scheduler unable to honour its contract).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "MonotonicityError",
+    "InvalidScheduleError",
+    "InfeasibleError",
+    "SchedulingError",
+    "SearchError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class ModelError(ReproError, ValueError):
+    """Invalid model input: malformed task profile, instance or allotment."""
+
+
+class MonotonicityError(ModelError):
+    """A malleable task violates the monotonic-penalty assumption.
+
+    The paper (Section 2.1) assumes that the execution time ``t(p)`` is
+    non-increasing in the number of processors ``p`` while the work
+    ``p * t(p)`` is non-decreasing.  Algorithms of Sections 3 and 4 rely on
+    both directions, so constructing a non-monotonic task with
+    ``require_monotonic=True`` raises this error.
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates a structural constraint.
+
+    Raised by :meth:`repro.model.schedule.Schedule.validate` when two tasks
+    overlap on a processor, a task uses non-contiguous processors while the
+    schedule requires contiguity, a processor index is out of range, or the
+    allotment recorded in the schedule does not exist in the task profile.
+    """
+
+
+class InfeasibleError(ReproError):
+    """A sub-problem has no feasible solution.
+
+    For instance the two-shelf builder raises this when asked to realise a
+    partition whose shelves do not fit on ``m`` processors.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a schedule for a valid instance."""
+
+
+class SearchError(ReproError):
+    """The dual-approximation dichotomic search failed to converge."""

@@ -1,0 +1,17 @@
+"""Extensions beyond the paper's core result (its stated future work)."""
+
+from .precedence import (
+    PrecedenceInstance,
+    PrecedenceScheduler,
+    critical_path_lower_bound,
+    precedence_list_schedule,
+    random_task_tree,
+)
+
+__all__ = [
+    "PrecedenceInstance",
+    "PrecedenceScheduler",
+    "critical_path_lower_bound",
+    "precedence_list_schedule",
+    "random_task_tree",
+]

@@ -1,0 +1,277 @@
+"""Extension: malleable tasks with precedence constraints.
+
+The paper's conclusion names the scheduling of *precedence graphs* of
+malleable tasks as the natural continuation of the work, citing Prasanna &
+Musicus for the continuous case and mentioning ongoing work on tree-shaped
+graphs arising in the ocean-circulation application.  This module implements
+that extension as a practical heuristic built from the same ingredients as
+the independent-task algorithm:
+
+* the precedence graph is a DAG over the instance's tasks (any
+  :mod:`networkx` ``DiGraph`` whose nodes are task indices);
+* the **allotment** of each task is chosen canonically for a guessed
+  deadline ``d`` scaled by the task's depth in the critical path (the same
+  "minimal processors meeting a target" rule as Section 3);
+* the **scheduling** phase is an event-driven contiguous list scheduler that
+  only releases a task once all its predecessors completed, prioritising
+  tasks on the *critical path* (longest remaining bottom-level), and the
+  guess is driven by the usual dichotomic search against precedence-aware
+  lower bounds.
+
+The heuristic carries no approximation guarantee (none is claimed by the
+paper either); the tests verify feasibility (precedence respected, machine
+constraints), the lower-bound sanity and the behaviour on the tree-shaped
+workloads the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ModelError, SchedulingError
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..scheduler import Scheduler
+
+__all__ = [
+    "PrecedenceInstance",
+    "critical_path_lower_bound",
+    "precedence_list_schedule",
+    "PrecedenceScheduler",
+    "random_task_tree",
+]
+
+
+@dataclass(frozen=True)
+class PrecedenceInstance:
+    """A malleable instance plus a precedence DAG over its task indices."""
+
+    instance: Instance
+    graph: "nx.DiGraph"
+
+    def __post_init__(self) -> None:
+        n = self.instance.num_tasks
+        for node in self.graph.nodes:
+            if not (isinstance(node, (int, np.integer)) and 0 <= int(node) < n):
+                raise ModelError(f"graph node {node!r} is not a valid task index")
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise ModelError("the precedence graph must be a DAG")
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks of the underlying instance."""
+        return self.instance.num_tasks
+
+    def predecessors(self, task: int) -> list[int]:
+        """Direct predecessors of a task (empty when the task is a source)."""
+        if task not in self.graph:
+            return []
+        return [int(p) for p in self.graph.predecessors(task)]
+
+    def bottom_levels(self, allotment: Allotment) -> np.ndarray:
+        """Length of the longest downward path starting at each task.
+
+        Computed with the rigid execution times induced by ``allotment``;
+        this is the classical critical-path priority used by the list phase.
+        """
+        times = allotment.times()
+        levels = np.array(times, dtype=float)
+        order = list(nx.topological_sort(self.graph))
+        for node in reversed(order):
+            succ = list(self.graph.successors(node))
+            if succ:
+                levels[int(node)] = times[int(node)] + max(
+                    levels[int(s)] for s in succ
+                )
+        return levels
+
+
+def critical_path_lower_bound(pinstance: PrecedenceInstance) -> float:
+    """Makespan lower bound: area bound and best-case critical path.
+
+    Every task on a chain must run after its predecessors, each taking at
+    least its minimal execution time ``t_i(m)``; the longest such chain is a
+    valid lower bound, as is the sequential-work area bound.
+    """
+    instance = pinstance.instance
+    area = instance.total_sequential_work() / instance.num_procs
+    best_case = np.array([task.min_time() for task in instance.tasks])
+    chain = best_case.copy()
+    for node in reversed(list(nx.topological_sort(pinstance.graph))):
+        succ = list(pinstance.graph.successors(node))
+        if succ:
+            chain[int(node)] = best_case[int(node)] + max(chain[int(s)] for s in succ)
+    longest_chain = float(chain.max()) if chain.size else 0.0
+    return max(area, longest_chain, instance.max_min_time())
+
+
+def precedence_list_schedule(
+    pinstance: PrecedenceInstance, allotment: Allotment
+) -> Schedule:
+    """Event-driven contiguous list scheduling honouring the precedence DAG.
+
+    Ready tasks (all predecessors finished) are started in order of
+    non-increasing bottom level whenever a contiguous block of the required
+    width is free; time advances to the next completion otherwise.
+    """
+    instance = pinstance.instance
+    m = instance.num_procs
+    times = allotment.times()
+    levels = pinstance.bottom_levels(allotment)
+    indegree = {
+        i: len(pinstance.predecessors(i)) for i in range(instance.num_tasks)
+    }
+    finished: set[int] = set()
+    running: list[tuple[float, int, int, int]] = []  # (end, task, first, width)
+    free = np.ones(m, dtype=bool)
+    clock = 0.0
+    schedule = Schedule(instance, algorithm="precedence-list")
+    pending = set(range(instance.num_tasks))
+    guard = 0
+    while pending or running:
+        guard += 1
+        if guard > 20 * (instance.num_tasks + 1) * (m + 1):
+            raise SchedulingError("precedence list scheduling failed to make progress")
+        ready = sorted(
+            (i for i in pending if indegree[i] == 0),
+            key=lambda i: (-levels[i], i),
+        )
+        started = False
+        for task in ready:
+            width = allotment[task]
+            # leftmost contiguous free block of the required width
+            run = 0
+            block = None
+            for proc in range(m):
+                run = run + 1 if free[proc] else 0
+                if run >= width:
+                    block = proc - width + 1
+                    break
+            if block is None:
+                continue
+            schedule.add(task, clock, block, width)
+            free[block : block + width] = False
+            running.append((clock + times[task], task, block, width))
+            pending.discard(task)
+            started = True
+        if started:
+            continue
+        if not running:
+            raise SchedulingError(
+                "no task can start: a ready task is wider than the machine"
+            )
+        running.sort()
+        end, task, block, width = running.pop(0)
+        clock = max(clock, end)
+        free[block : block + width] = True
+        finished.add(task)
+        for succ in (
+            pinstance.graph.successors(task) if task in pinstance.graph else []
+        ):
+            indegree[int(succ)] -= 1
+        # release the other tasks completing at the same instant
+        still_running = []
+        for item in running:
+            if item[0] <= clock + 1e-12:
+                _, t2, b2, w2 = item
+                free[b2 : b2 + w2] = True
+                finished.add(t2)
+                for succ in (
+                    pinstance.graph.successors(t2) if t2 in pinstance.graph else []
+                ):
+                    indegree[int(succ)] -= 1
+            else:
+                still_running.append(item)
+        running = still_running
+    schedule.validate()
+    return schedule
+
+
+class PrecedenceScheduler(Scheduler):
+    """Critical-path heuristic for malleable task graphs.
+
+    For each guessed deadline ``d`` (dichotomic search between the
+    precedence-aware lower bound and the fully sequential chain), every task
+    is allotted the minimal number of processors whose execution time is at
+    most ``d / depth_fraction`` where ``depth_fraction`` spreads the deadline
+    over the task's critical-path depth; the resulting rigid DAG is scheduled
+    with :func:`precedence_list_schedule` and the best schedule found is
+    returned.
+    """
+
+    name = "precedence-cp"
+
+    def __init__(self, *, num_guesses: int = 12) -> None:
+        if num_guesses < 1:
+            raise ModelError("num_guesses must be >= 1")
+        self.num_guesses = num_guesses
+
+    def _allotment_for_guess(
+        self, pinstance: PrecedenceInstance, guess: float
+    ) -> Allotment:
+        instance = pinstance.instance
+        # depth of each task along the critical path (1-based)
+        depth = np.ones(instance.num_tasks)
+        for node in nx.topological_sort(pinstance.graph):
+            preds = pinstance.predecessors(int(node))
+            if preds:
+                depth[int(node)] = 1 + max(depth[p] for p in preds)
+        max_depth = float(depth.max()) if depth.size else 1.0
+        # Spread the deadline evenly over the critical path: every task should
+        # fit inside its 1/max_depth slice of the guess (the canonical rule of
+        # Section 3 applied per level of the graph).
+        slice_target = guess / max_depth
+        procs = []
+        for task in instance.tasks:
+            p = task.canonical_procs(slice_target)
+            if p is None:
+                # The slice is too ambitious for this task: fall back to the
+                # full guess, then to the whole machine.
+                p = task.canonical_procs(guess) or instance.num_procs
+            procs.append(p)
+        return Allotment(instance, procs)
+
+    def schedule_graph(self, pinstance: PrecedenceInstance) -> Schedule:
+        """Schedule a :class:`PrecedenceInstance`; returns the best schedule found."""
+        lb = critical_path_lower_bound(pinstance)
+        ub = pinstance.instance.total_sequential_work()
+        best: Schedule | None = None
+        for guess in np.geomspace(max(lb, 1e-9), max(ub, lb * 1.01), self.num_guesses):
+            allotment = self._allotment_for_guess(pinstance, float(guess))
+            candidate = precedence_list_schedule(pinstance, allotment)
+            if best is None or candidate.makespan() < best.makespan():
+                best = candidate
+        assert best is not None
+        return best
+
+    def schedule(self, instance: Instance) -> Schedule:
+        """Scheduler interface: an instance without edges (independent tasks)."""
+        empty = nx.DiGraph()
+        empty.add_nodes_from(range(instance.num_tasks))
+        return self.schedule_graph(PrecedenceInstance(instance, empty))
+
+
+def random_task_tree(
+    instance: Instance,
+    *,
+    seed: int | np.random.Generator | None = None,
+    children: int = 2,
+) -> PrecedenceInstance:
+    """An in-tree precedence graph over the instance's tasks.
+
+    Task 0 is the root (final reduction); every other task points to a parent
+    with a smaller index, each parent receiving at most ``children`` children
+    on average — the tree-shaped structure of the adaptive ocean application
+    mentioned in the paper's conclusion.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(instance.num_tasks))
+    for i in range(1, instance.num_tasks):
+        parent = int(rng.integers(0, max(1, min(i, 1 + i // children))))
+        graph.add_edge(i, parent)  # child must finish before the parent runs
+    return PrecedenceInstance(instance, graph)

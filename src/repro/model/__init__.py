@@ -1,0 +1,33 @@
+"""Malleable task model: tasks, speedup families, instances, allotments, schedules."""
+
+from .task import EPS, MalleableTask
+from .speedup import (
+    AmdahlSpeedup,
+    CommunicationOverheadSpeedup,
+    NoSpeedup,
+    PerfectSpeedup,
+    PowerLawSpeedup,
+    SpeedupModel,
+    TabulatedSpeedup,
+    ThresholdSpeedup,
+)
+from .instance import Instance
+from .allotment import Allotment
+from .schedule import Schedule, ScheduledTask
+
+__all__ = [
+    "EPS",
+    "MalleableTask",
+    "SpeedupModel",
+    "PerfectSpeedup",
+    "NoSpeedup",
+    "AmdahlSpeedup",
+    "PowerLawSpeedup",
+    "CommunicationOverheadSpeedup",
+    "ThresholdSpeedup",
+    "TabulatedSpeedup",
+    "Instance",
+    "Allotment",
+    "Schedule",
+    "ScheduledTask",
+]

@@ -1,0 +1,178 @@
+"""Allotments: the output of the first phase of a two-phase method.
+
+In the two-phase approach of Turek, Wolf & Yu (and of the paper), the first
+phase selects an *allotment* — a number of processors for each task — and the
+second phase schedules the resulting *rigid* (non-malleable) tasks.  An
+:class:`Allotment` couples an :class:`~repro.model.instance.Instance` with a
+processor count per task and exposes the induced rigid quantities (execution
+times, works, the strip-packing view of the problem).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .instance import Instance
+
+__all__ = ["Allotment"]
+
+
+class Allotment:
+    """A processor count for every task of an instance.
+
+    Parameters
+    ----------
+    instance:
+        The malleable instance the allotment refers to.
+    procs:
+        ``procs[i]`` is the number of processors allotted to task ``i``;
+        every value must lie in ``1..m``.
+    """
+
+    __slots__ = ("_instance", "_procs")
+
+    def __init__(self, instance: Instance, procs: Sequence[int] | np.ndarray) -> None:
+        arr = np.asarray(procs, dtype=int)
+        if arr.ndim != 1 or arr.size != instance.num_tasks:
+            raise ModelError(
+                f"allotment must contain exactly one processor count per task "
+                f"({instance.num_tasks}), got shape {arr.shape}"
+            )
+        if np.any(arr < 1) or np.any(arr > instance.num_procs):
+            raise ModelError(
+                f"allotment values must lie in 1..{instance.num_procs}"
+            )
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._instance = instance
+        self._procs = arr
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def canonical(cls, instance: Instance, deadline: float) -> "Allotment | None":
+        """The canonical allotment γ(d): minimal processors meeting ``deadline``.
+
+        Returns ``None`` when some task cannot meet the deadline on ``m``
+        processors (no schedule of length ``<= deadline`` exists).
+        """
+        procs = []
+        for task in instance.tasks:
+            p = task.canonical_procs(deadline)
+            if p is None:
+                return None
+            procs.append(p)
+        return cls(instance, procs)
+
+    @classmethod
+    def sequential(cls, instance: Instance) -> "Allotment":
+        """One processor per task (the minimal-work allotment)."""
+        return cls(instance, np.ones(instance.num_tasks, dtype=int))
+
+    @classmethod
+    def gang(cls, instance: Instance) -> "Allotment":
+        """All ``m`` processors for every task."""
+        return cls(
+            instance, np.full(instance.num_tasks, instance.num_procs, dtype=int)
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> Instance:
+        """The underlying instance."""
+        return self._instance
+
+    @property
+    def procs(self) -> np.ndarray:
+        """Read-only array of processor counts (one per task)."""
+        return self._procs
+
+    def __len__(self) -> int:
+        return self._procs.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(p) for p in self._procs)
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._procs[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allotment):
+            return NotImplemented
+        return self._instance is other._instance and np.array_equal(
+            self._procs, other._procs
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._instance), self._procs.tobytes()))
+
+    # ------------------------------------------------------------------ #
+    # induced rigid quantities
+    # ------------------------------------------------------------------ #
+    def times(self) -> np.ndarray:
+        """Execution times of the induced rigid tasks."""
+        return np.array(
+            [
+                task.time(int(p))
+                for task, p in zip(self._instance.tasks, self._procs)
+            ]
+        )
+
+    def works(self) -> np.ndarray:
+        """Works (processor-time areas) of the induced rigid tasks."""
+        return np.array(
+            [
+                task.work(int(p))
+                for task, p in zip(self._instance.tasks, self._procs)
+            ]
+        )
+
+    def total_work(self) -> float:
+        """Total area ``Σ p_i t_i(p_i)``."""
+        return float(self.works().sum())
+
+    def max_time(self) -> float:
+        """Longest rigid execution time (height of the tallest rectangle)."""
+        return float(self.times().max())
+
+    def area_bound(self) -> float:
+        """Lower bound on the makespan of *this allotment*: ``total_work / m``."""
+        return self.total_work() / self._instance.num_procs
+
+    def lower_bound(self) -> float:
+        """Makespan lower bound for the rigid instance induced by the allotment."""
+        return max(self.area_bound(), self.max_time())
+
+    def parallel_indices(self) -> list[int]:
+        """Indices of tasks allotted to two or more processors."""
+        return [i for i, p in enumerate(self._procs) if p >= 2]
+
+    def sequential_indices(self) -> list[int]:
+        """Indices of tasks allotted to exactly one processor."""
+        return [i for i, p in enumerate(self._procs) if p == 1]
+
+    def rectangles(self) -> list[tuple[int, int, float]]:
+        """Strip-packing view: ``(task_index, width=procs, height=time)``."""
+        times = self.times()
+        return [
+            (i, int(self._procs[i]), float(times[i]))
+            for i in range(self._procs.size)
+        ]
+
+    def replace(self, index: int, procs: int) -> "Allotment":
+        """A copy of the allotment with task ``index`` re-allotted to ``procs``."""
+        arr = self._procs.copy()
+        arr[index] = procs
+        return Allotment(self._instance, arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Allotment(n={self._procs.size}, total_work={self.total_work():.3g}, "
+            f"max_time={self.max_time():.3g})"
+        )

@@ -1,0 +1,278 @@
+"""Problem instances: a set of malleable tasks plus a machine size.
+
+An :class:`Instance` bundles the ``n`` independent malleable tasks of the
+paper with the number ``m`` of identical processors.  It exposes the
+quantities that the algorithms of Sections 3 and 4 are built from:
+
+* canonical allotments γ(d) (minimal processors meeting a deadline ``d``),
+* the total canonical work used by Property 2,
+* the canonical μ-area ``W_m`` of Definition 1,
+* simple makespan lower bounds used to seed the dual-approximation search.
+
+Tasks inside an instance are restricted to ``m`` processors; an instance is
+immutable once built.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .task import EPS, MalleableTask
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """An instance of the malleable-task scheduling problem.
+
+    Parameters
+    ----------
+    tasks:
+        The malleable tasks.  Each task must define its profile for at least
+        ``num_procs`` processors (larger profiles are truncated).
+    num_procs:
+        The number ``m`` of identical processors.
+    name:
+        Optional label used in experiment reports.
+    """
+
+    __slots__ = ("_tasks", "_m", "_name")
+
+    def __init__(
+        self,
+        tasks: Sequence[MalleableTask] | Iterable[MalleableTask],
+        num_procs: int,
+        *,
+        name: str = "instance",
+    ) -> None:
+        task_list = list(tasks)
+        if num_procs < 1:
+            raise ModelError("num_procs must be >= 1")
+        if not task_list:
+            raise ModelError("an instance needs at least one task")
+        prepared: list[MalleableTask] = []
+        for task in task_list:
+            if not isinstance(task, MalleableTask):
+                raise ModelError(
+                    f"expected MalleableTask, got {type(task).__name__}"
+                )
+            if task.max_procs < num_procs:
+                raise ModelError(
+                    f"task {task.name!r} defines only {task.max_procs} processor "
+                    f"counts but the machine has {num_procs} processors"
+                )
+            prepared.append(
+                task if task.max_procs == num_procs else task.restricted(num_procs)
+            )
+        self._tasks: tuple[MalleableTask, ...] = tuple(prepared)
+        self._m = int(num_procs)
+        self._name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Label of the instance."""
+        return self._name
+
+    @property
+    def tasks(self) -> tuple[MalleableTask, ...]:
+        """The tasks of the instance (immutable tuple)."""
+        return self._tasks
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks ``n``."""
+        return len(self._tasks)
+
+    @property
+    def num_procs(self) -> int:
+        """Number of processors ``m``."""
+        return self._m
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[MalleableTask]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> MalleableTask:
+        return self._tasks[index]
+
+    def task_index(self, name: str) -> int:
+        """Index of the task called ``name`` (first match)."""
+        for i, task in enumerate(self._tasks):
+            if task.name == name:
+                return i
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # aggregate quantities
+    # ------------------------------------------------------------------ #
+    def total_sequential_work(self) -> float:
+        """Sum of the single-processor works ``Σ t_i(1)``.
+
+        Because work is non-decreasing in the number of processors this is
+        the minimal total work of any allotment, and ``Σ t_i(1) / m`` is the
+        classical area lower bound on the optimal makespan.
+        """
+        return float(sum(t.sequential_time() for t in self._tasks))
+
+    def max_min_time(self) -> float:
+        """``max_i t_i(m)``: the longest unavoidable task duration."""
+        return float(max(t.min_time() for t in self._tasks))
+
+    def max_sequential_time(self) -> float:
+        """``max_i t_i(1)``."""
+        return float(max(t.sequential_time() for t in self._tasks))
+
+    def lower_bound(self) -> float:
+        """Simple makespan lower bound ``max(area bound, longest minimal task)``.
+
+        See :func:`repro.lower_bounds.canonical_area_lower_bound` for the
+        tighter bound derived from Property 2 that the experiment harness
+        uses as the denominator of approximation ratios.
+        """
+        return max(self.total_sequential_work() / self._m, self.max_min_time())
+
+    def upper_bound(self) -> float:
+        """A trivially feasible makespan: run every task alone on one processor.
+
+        Running the tasks one after the other on a single processor (or
+        greedily with LPT) is always feasible, so ``Σ t_i(1)`` upper-bounds
+        the optimum.  Used to seed the dichotomic search.
+        """
+        return self.total_sequential_work()
+
+    # ------------------------------------------------------------------ #
+    # canonical quantities (Section 2.1, Definition 1)
+    # ------------------------------------------------------------------ #
+    def canonical_procs(self, deadline: float) -> list[int | None]:
+        """γ_i(deadline) for every task (``None`` when unreachable)."""
+        return [t.canonical_procs(deadline) for t in self._tasks]
+
+    def canonical_work(self, deadline: float) -> float | None:
+        """Total work of the canonical allotment, ``Σ W_i(γ_i(d))``.
+
+        Returns ``None`` when some task cannot meet the deadline at all, in
+        which case no schedule of length ``<= deadline`` exists.
+        """
+        total = 0.0
+        for task in self._tasks:
+            p = task.canonical_procs(deadline)
+            if p is None:
+                return None
+            total += task.work(p)
+        return total
+
+    def mu_area(self, deadline: float) -> float | None:
+        """Canonical μ-area ``W_m`` of Definition 1.
+
+        Sort the tasks by non-increasing canonical execution time
+        ``t_i(γ_i(d))`` and imagine stacking them side by side on an
+        unbounded machine (each task occupying γ_i processors).  ``W_m`` is
+        the (fractional) area computed by the first ``m`` processors:
+
+        ``W_m = Σ_{i<k} W_i(γ_i) + (m − Σ_{i<k} γ_i) · t_k(γ_k)``
+
+        where ``k`` is the minimal index such that the cumulative processor
+        count reaches ``m``.  When the canonical allotment uses fewer than
+        ``m`` processors in total, ``W_m`` is simply the total canonical
+        work.  Returns ``None`` when some γ_i does not exist.
+        """
+        gammas = []
+        for task in self._tasks:
+            p = task.canonical_procs(deadline)
+            if p is None:
+                return None
+            gammas.append((task.time(p), p, task.work(p)))
+        gammas.sort(key=lambda item: -item[0])
+        area = 0.0
+        used = 0
+        for time, procs, work in gammas:
+            if used + procs <= self._m:
+                area += work
+                used += procs
+                if used == self._m:
+                    break
+            else:
+                area += (self._m - used) * time
+                used = self._m
+                break
+        return area
+
+    # ------------------------------------------------------------------ #
+    # transformations & serialisation
+    # ------------------------------------------------------------------ #
+    def scaled(self, factor: float) -> "Instance":
+        """Instance with every execution time multiplied by ``factor``."""
+        return Instance(
+            [t.scaled(factor) for t in self._tasks],
+            self._m,
+            name=f"{self._name}*{factor:g}",
+        )
+
+    def subset(self, indices: Sequence[int], *, name: str | None = None) -> "Instance":
+        """Instance restricted to the tasks at ``indices``."""
+        return Instance(
+            [self._tasks[i] for i in indices],
+            self._m,
+            name=name or f"{self._name}[subset]",
+        )
+
+    def with_machine(self, num_procs: int) -> "Instance":
+        """Same tasks on a machine with ``num_procs`` processors.
+
+        Tasks must define their profile for at least ``num_procs``
+        processors.
+        """
+        return Instance(self._tasks, num_procs, name=self._name)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self._name,
+            "num_procs": self._m,
+            "tasks": [t.as_dict() for t in self._tasks],
+        }
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.as_dict())
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Instance":
+        """Inverse of :meth:`as_dict`."""
+        tasks = [MalleableTask.from_dict(t) for t in payload["tasks"]]
+        return cls(tasks, payload["num_procs"], name=payload.get("name", "instance"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Instance":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: Sequence[Sequence[float]] | np.ndarray,
+        *,
+        name: str = "instance",
+        require_monotonic: bool = True,
+    ) -> "Instance":
+        """Build an instance from a matrix ``profiles[i][p-1] = t_i(p)``."""
+        arr = np.asarray(profiles, dtype=float)
+        if arr.ndim != 2:
+            raise ModelError("profiles must be a 2-D array (tasks x processors)")
+        tasks = [
+            MalleableTask(f"T{i}", arr[i], require_monotonic=require_monotonic)
+            for i in range(arr.shape[0])
+        ]
+        return cls(tasks, arr.shape[1], name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({self._name!r}, n={self.num_tasks}, m={self._m})"

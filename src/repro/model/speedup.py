@@ -1,0 +1,216 @@
+"""Parametric speedup models used to synthesise malleable task profiles.
+
+The paper evaluates its algorithm on *monotonic* malleable tasks: the
+execution time decreases with the number of processors while the work
+increases, which is "the standard behaviour of parallel applications, mainly
+due to the communication overhead" (Section 2.1).  The original authors do
+not publish their experimental workloads ("Experiments are currently under
+progress"), so this module provides the classical parallel-speedup families
+that the community uses to model such behaviour:
+
+* :class:`AmdahlSpeedup` — a sequential fraction bounds the speedup,
+* :class:`PowerLawSpeedup` — ``S(p) = p**alpha`` (Downey-style sub-linear
+  scaling),
+* :class:`CommunicationOverheadSpeedup` — linear speedup degraded by a
+  per-processor communication term, the model closest to the ocean
+  circulation code motivating the paper,
+* :class:`ThresholdSpeedup` — linear scaling up to a parallelism bound, flat
+  afterwards,
+* :class:`PerfectSpeedup` and :class:`NoSpeedup` — the two extremes.
+
+Every model is a callable mapping a processor count to a speedup value and
+exposes :meth:`SpeedupModel.profile` to materialise an execution-time profile
+of a given sequential time on ``m`` processors.  Profiles are repaired with
+:meth:`repro.model.task.MalleableTask.monotonic_envelope`, so every generated
+task satisfies the paper's assumptions exactly (no super-linear speedup, no
+slowdown).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .task import MalleableTask
+
+__all__ = [
+    "SpeedupModel",
+    "PerfectSpeedup",
+    "NoSpeedup",
+    "AmdahlSpeedup",
+    "PowerLawSpeedup",
+    "CommunicationOverheadSpeedup",
+    "ThresholdSpeedup",
+    "TabulatedSpeedup",
+]
+
+
+class SpeedupModel(ABC):
+    """Abstract speedup curve ``S(p)`` with ``S(1) = 1``."""
+
+    @abstractmethod
+    def speedup(self, procs: int) -> float:
+        """Speedup achieved on ``procs`` processors (``procs >= 1``)."""
+
+    def __call__(self, procs: int) -> float:
+        return self.speedup(procs)
+
+    def speedups(self, max_procs: int) -> np.ndarray:
+        """Vector of speedups for 1..max_procs processors."""
+        if max_procs < 1:
+            raise ModelError("max_procs must be >= 1")
+        return np.array([self.speedup(p) for p in range(1, max_procs + 1)])
+
+    def profile(self, sequential_time: float, max_procs: int) -> np.ndarray:
+        """Execution-time profile ``t(p) = sequential_time / S(p)``."""
+        if sequential_time <= 0:
+            raise ModelError("sequential_time must be positive")
+        return sequential_time / self.speedups(max_procs)
+
+    def make_task(
+        self, name: str, sequential_time: float, max_procs: int
+    ) -> MalleableTask:
+        """Materialise a monotonic :class:`MalleableTask` from the model."""
+        return MalleableTask.monotonic_envelope(
+            name, self.profile(sequential_time, max_procs)
+        )
+
+
+@dataclass(frozen=True)
+class PerfectSpeedup(SpeedupModel):
+    """Embarrassingly parallel task: ``S(p) = p``."""
+
+    def speedup(self, procs: int) -> float:
+        return float(procs)
+
+
+@dataclass(frozen=True)
+class NoSpeedup(SpeedupModel):
+    """Fully sequential task: ``S(p) = 1`` for every ``p``."""
+
+    def speedup(self, procs: int) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class AmdahlSpeedup(SpeedupModel):
+    """Amdahl's law: a fraction ``serial_fraction`` of the work is sequential.
+
+    ``S(p) = 1 / (serial_fraction + (1 - serial_fraction) / p)``.
+    ``serial_fraction = 0`` degenerates to :class:`PerfectSpeedup`,
+    ``serial_fraction = 1`` to :class:`NoSpeedup`.
+    """
+
+    serial_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ModelError("serial_fraction must lie in [0, 1]")
+
+    def speedup(self, procs: int) -> float:
+        f = self.serial_fraction
+        return 1.0 / (f + (1.0 - f) / procs)
+
+
+@dataclass(frozen=True)
+class PowerLawSpeedup(SpeedupModel):
+    """Power-law scaling ``S(p) = p**alpha`` with ``alpha`` in ``[0, 1]``.
+
+    ``alpha`` close to 1 models highly scalable tasks, ``alpha`` close to 0
+    models poorly scalable ones.  This is the shape used by Downey-style
+    synthetic parallel workloads.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ModelError("alpha must lie in [0, 1]")
+
+    def speedup(self, procs: int) -> float:
+        return float(procs**self.alpha)
+
+
+@dataclass(frozen=True)
+class CommunicationOverheadSpeedup(SpeedupModel):
+    """Linear speedup degraded by a communication/management overhead.
+
+    ``t(p) = t(1)/p + overhead * (p - 1)``, expressed here as a speedup
+    relative to ``t(1) = 1``: ``S(p) = 1 / (1/p + overhead*(p-1))``.  The
+    ``overhead`` parameter is the communication cost per extra processor as a
+    fraction of the sequential time.  This is the textbook model of the
+    "penalty due to the management of the parallelism" quoted in the paper's
+    introduction and is the closest analogue of the ocean-circulation domain
+    decomposition workload of reference [3].
+
+    The raw curve is not monotonic for large ``p`` (the overhead eventually
+    dominates); :meth:`SpeedupModel.make_task` repairs it into its monotonic
+    envelope, which plateaus at the optimal processor count — exactly the
+    "threshold" behaviour described in the paper's introduction.
+    """
+
+    overhead: float
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise ModelError("overhead must be non-negative")
+
+    def speedup(self, procs: int) -> float:
+        denom = 1.0 / procs + self.overhead * (procs - 1)
+        return 1.0 / denom
+
+    def optimal_procs(self, max_procs: int) -> int:
+        """Processor count maximising the raw speedup (before repair)."""
+        if self.overhead == 0:
+            return max_procs
+        best = int(round(math.sqrt(1.0 / self.overhead)))
+        best = max(1, min(max_procs, best))
+        # The rounded optimum of the continuous relaxation may be off by one.
+        candidates = {max(1, best - 1), best, min(max_procs, best + 1)}
+        return max(candidates, key=self.speedup)
+
+
+@dataclass(frozen=True)
+class ThresholdSpeedup(SpeedupModel):
+    """Linear speedup up to ``parallelism`` processors, flat afterwards.
+
+    Models tasks with a bounded degree of parallelism (e.g. a fixed number of
+    sub-domains in a domain-decomposition code).
+    """
+
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ModelError("parallelism must be >= 1")
+
+    def speedup(self, procs: int) -> float:
+        return float(min(procs, self.parallelism))
+
+
+class TabulatedSpeedup(SpeedupModel):
+    """Speedup model backed by an explicit table of values."""
+
+    def __init__(self, speedups: np.ndarray | list[float]) -> None:
+        arr = np.asarray(speedups, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ModelError("speedups must be a non-empty 1-D sequence")
+        if np.any(arr <= 0):
+            raise ModelError("speedups must be positive")
+        if abs(arr[0] - 1.0) > 1e-12:
+            raise ModelError("speedups[0] (one processor) must equal 1.0")
+        self._speedups = arr
+
+    def speedup(self, procs: int) -> float:
+        if not 1 <= procs <= self._speedups.size:
+            raise ModelError(
+                f"processor count {procs} outside 1..{self._speedups.size}"
+            )
+        return float(self._speedups[procs - 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TabulatedSpeedup(n={self._speedups.size})"

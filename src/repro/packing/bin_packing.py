@@ -1,0 +1,139 @@
+"""One-dimensional bin packing under a deadline.
+
+The paper packs the "small" sequential tasks (canonical execution time at
+most d/2) onto processors with the *First Fit* algorithm of Johnson et al.
+[11]: processors are bins of capacity equal to the shelf deadline and task
+durations are item sizes.  The only property the analysis needs is the
+classical First Fit guarantee quoted in Section 4.1: if First Fit opens more
+than one bin, then the total item size exceeds half the capacity times the
+number of bins used.
+
+Besides First Fit this module provides First Fit Decreasing and Best Fit
+(used by the baselines and exercised in the tests), all sharing the
+:class:`BinPackingResult` output type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import InfeasibleError
+from ..model.task import EPS
+
+__all__ = [
+    "BinPackingResult",
+    "first_fit",
+    "first_fit_decreasing",
+    "best_fit",
+    "num_bins_first_fit",
+]
+
+
+@dataclass
+class BinPackingResult:
+    """Outcome of a 1-D packing.
+
+    Attributes
+    ----------
+    capacity:
+        Bin capacity (the shelf deadline).
+    bins:
+        ``bins[b]`` is the list of item indices assigned to bin ``b``.
+    loads:
+        ``loads[b]`` is the total size packed into bin ``b``.
+    assignment:
+        ``assignment[i]`` is the bin of item ``i``.
+    """
+
+    capacity: float
+    bins: list[list[int]] = field(default_factory=list)
+    loads: list[float] = field(default_factory=list)
+    assignment: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins opened."""
+        return len(self.bins)
+
+    def validate(self, sizes: Sequence[float], tol: float = 1e-9) -> None:
+        """Check loads and capacity; raise :class:`InfeasibleError` on violation."""
+        for b, items in enumerate(self.bins):
+            load = sum(sizes[i] for i in items)
+            if abs(load - self.loads[b]) > tol * max(1.0, load):
+                raise InfeasibleError(f"bin {b}: recorded load differs from items")
+            if load > self.capacity + tol:
+                raise InfeasibleError(
+                    f"bin {b}: load {load} exceeds capacity {self.capacity}"
+                )
+        packed = sorted(i for items in self.bins for i in items)
+        if packed != sorted(self.assignment):
+            raise InfeasibleError("assignment and bins disagree")
+
+
+def _pack(
+    sizes: Sequence[float],
+    capacity: float,
+    order: Sequence[int],
+    *,
+    best_fit_rule: bool,
+) -> BinPackingResult:
+    result = BinPackingResult(capacity=float(capacity))
+    for i in order:
+        size = float(sizes[i])
+        if size > capacity + EPS:
+            raise InfeasibleError(
+                f"item {i} of size {size} does not fit in capacity {capacity}"
+            )
+        chosen = -1
+        if best_fit_rule:
+            best_slack = None
+            for b, load in enumerate(result.loads):
+                slack = capacity - load - size
+                if slack >= -EPS and (best_slack is None or slack < best_slack):
+                    best_slack = slack
+                    chosen = b
+        else:
+            for b, load in enumerate(result.loads):
+                if load + size <= capacity + EPS:
+                    chosen = b
+                    break
+        if chosen < 0:
+            result.bins.append([])
+            result.loads.append(0.0)
+            chosen = len(result.bins) - 1
+        result.bins[chosen].append(i)
+        result.loads[chosen] += size
+        result.assignment[i] = chosen
+    return result
+
+
+def first_fit(sizes: Sequence[float], capacity: float) -> BinPackingResult:
+    """First Fit in input order (the packing used by the paper, FF).
+
+    Guarantee used in the analysis: if more than one bin is opened, every bin
+    except possibly the last has load greater than half the capacity, hence
+    ``Σ sizes > capacity/2 · (num_bins)`` whenever ``num_bins >= 2``.
+    """
+    return _pack(sizes, capacity, range(len(sizes)), best_fit_rule=False)
+
+
+def first_fit_decreasing(sizes: Sequence[float], capacity: float) -> BinPackingResult:
+    """First Fit Decreasing: sort items by non-increasing size, then First Fit."""
+    order = sorted(range(len(sizes)), key=lambda i: -sizes[i])
+    return _pack(sizes, capacity, order, best_fit_rule=False)
+
+
+def best_fit(sizes: Sequence[float], capacity: float) -> BinPackingResult:
+    """Best Fit in input order: place each item in the fullest bin where it fits."""
+    return _pack(sizes, capacity, range(len(sizes)), best_fit_rule=True)
+
+
+def num_bins_first_fit(sizes: Sequence[float], capacity: float) -> int:
+    """Number of processors needed by First Fit — the paper's ``FF(d, S)``.
+
+    Returns 0 for an empty item set.
+    """
+    if not sizes:
+        return 0
+    return first_fit(sizes, capacity).num_bins

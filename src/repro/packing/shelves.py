@@ -1,0 +1,85 @@
+"""Shelf data structure shared by the two-shelf builder and the strip packers.
+
+A *shelf* is a horizontal slice of the schedule: it begins at a fixed time,
+has a height (the maximum duration of any task placed on it) and allocates
+contiguous processor blocks left to right.  Level-oriented strip-packing
+algorithms (NFDH, FFDH — Coffman et al. [5]) and the paper's λ-schedule
+(Section 4.1) are both naturally expressed with shelves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InfeasibleError
+
+__all__ = ["ShelfPlacement", "Shelf"]
+
+
+@dataclass(frozen=True)
+class ShelfPlacement:
+    """A rectangle placed on a shelf: task index, first processor, width, height."""
+
+    task_index: int
+    first_proc: int
+    width: int
+    height: float
+
+
+@dataclass
+class Shelf:
+    """A shelf starting at ``start`` with processor capacity ``num_procs``.
+
+    ``height`` is the tallest placement so far; ``limit`` (optional) caps the
+    height a placement may have (the λ-schedule uses shelves with a hard
+    height limit of ``d`` and ``λ·d``).
+    """
+
+    start: float
+    num_procs: int
+    limit: float | None = None
+    placements: list[ShelfPlacement] = field(default_factory=list)
+    used: int = 0
+
+    @property
+    def height(self) -> float:
+        """Height of the shelf = duration of its tallest placement."""
+        return max((p.height for p in self.placements), default=0.0)
+
+    @property
+    def end(self) -> float:
+        """Completion time of the shelf (start + height)."""
+        return self.start + self.height
+
+    @property
+    def free(self) -> int:
+        """Number of free processors remaining on the shelf."""
+        return self.num_procs - self.used
+
+    def fits(self, width: int, height: float, *, tol: float = 1e-9) -> bool:
+        """Whether a ``width x height`` rectangle can be placed on the shelf."""
+        if width > self.free:
+            return False
+        if self.limit is not None and height > self.limit + tol:
+            return False
+        return True
+
+    def place(self, task_index: int, width: int, height: float) -> ShelfPlacement:
+        """Place a rectangle at the leftmost free position; raise if it does not fit."""
+        if not self.fits(width, height):
+            raise InfeasibleError(
+                f"cannot place task {task_index} (width {width}, height {height:g}) "
+                f"on shelf at {self.start:g}: free={self.free}, limit={self.limit}"
+            )
+        placement = ShelfPlacement(
+            task_index=task_index,
+            first_proc=self.used,
+            width=width,
+            height=float(height),
+        )
+        self.placements.append(placement)
+        self.used += width
+        return placement
+
+    def __len__(self) -> int:
+        return len(self.placements)

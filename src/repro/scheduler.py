@@ -1,0 +1,38 @@
+"""Common interface implemented by every scheduling algorithm in the package.
+
+A :class:`Scheduler` turns an :class:`~repro.model.instance.Instance` into a
+complete, validated :class:`~repro.model.schedule.Schedule`.  The interface
+is intentionally tiny so that the experiment harness
+(:mod:`repro.analysis.experiments`) can treat the paper's algorithm and every
+baseline uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .model.instance import Instance
+from .model.schedule import Schedule
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Abstract base class of all makespan-minimising schedulers."""
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def schedule(self, instance: Instance) -> Schedule:
+        """Return a complete valid schedule for ``instance``."""
+
+    def __call__(self, instance: Instance) -> Schedule:
+        return self.schedule(instance)
+
+    def makespan(self, instance: Instance) -> float:
+        """Convenience: makespan of the produced schedule."""
+        return self.schedule(instance).makespan()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,14 @@
+"""Discrete-event machine simulator and schedule execution checks."""
+
+from .events import Event, EventKind
+from .engine import OnlineListSimulator, SimulationResult, simulate_schedule
+from .validate import simulate_and_check
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "SimulationResult",
+    "simulate_schedule",
+    "OnlineListSimulator",
+    "simulate_and_check",
+]

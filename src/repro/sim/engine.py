@@ -1,0 +1,202 @@
+"""Discrete-event simulator of an ``m``-processor machine.
+
+Two entry points:
+
+* :func:`simulate_schedule` *executes* a static :class:`~repro.model.schedule.Schedule`
+  event by event, checking dynamically that no processor is ever claimed by
+  two tasks and reporting per-processor busy times, utilisation and the
+  simulated makespan — an independent end-to-end re-validation of any
+  scheduler's output, used by the integration tests.
+* :class:`OnlineListSimulator` runs an *online* contiguous list-scheduling
+  policy for a rigid allotment: tasks wait in a priority queue and are
+  started, in priority order, whenever a contiguous block of free processors
+  of the required width exists.  Unlike the static list scheduler of
+  :mod:`repro.core.list_scheduling` it naturally back-fills freed processors,
+  providing the "what a runtime system would actually do" comparison point
+  used in the examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError, SchedulingError
+from ..model.allotment import Allotment
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from .events import Event, EventKind
+
+__all__ = ["SimulationResult", "simulate_schedule", "OnlineListSimulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of executing a schedule on the simulated machine."""
+
+    makespan: float
+    events: list[Event] = field(default_factory=list)
+    busy_time: np.ndarray | None = None
+    num_procs: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Average processor utilisation over the simulated horizon."""
+        if self.busy_time is None or self.makespan <= 0 or self.num_procs == 0:
+            return 0.0
+        return float(self.busy_time.sum() / (self.num_procs * self.makespan))
+
+    def per_processor_utilization(self) -> np.ndarray:
+        """Utilisation of each processor individually."""
+        if self.busy_time is None or self.makespan <= 0:
+            return np.zeros(self.num_procs)
+        return self.busy_time / self.makespan
+
+
+def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationResult:
+    """Execute a static schedule and re-check it dynamically.
+
+    Raises :class:`~repro.exceptions.InvalidScheduleError` if a task starts
+    on a processor that is still busy.
+    """
+    instance = schedule.instance
+    m = instance.num_procs
+    events: list[Event] = []
+    seq = 0
+    for entry in schedule.entries:
+        events.append(
+            Event(
+                time=entry.start,
+                priority=1,
+                sequence=seq,
+                kind=EventKind.TASK_START,
+                task_index=entry.task_index,
+                first_proc=entry.first_proc,
+                num_procs=entry.num_procs,
+            )
+        )
+        seq += 1
+        events.append(
+            Event(
+                time=entry.end,
+                priority=0,
+                sequence=seq,
+                kind=EventKind.TASK_FINISH,
+                task_index=entry.task_index,
+                first_proc=entry.first_proc,
+                num_procs=entry.num_procs,
+            )
+        )
+        seq += 1
+    events.sort()
+    owner = np.full(m, -1, dtype=int)  # task currently running on each processor
+    busy = np.zeros(m)
+    makespan = 0.0
+    processed: list[Event] = []
+    for event in events:
+        if event.kind is EventKind.TASK_FINISH:
+            for proc in event.procs:
+                if owner[proc] != event.task_index:
+                    raise InvalidScheduleError(
+                        f"finish event of task {event.task_index} on processor {proc} "
+                        f"which it does not own"
+                    )
+                owner[proc] = -1
+            makespan = max(makespan, event.time)
+        else:
+            for proc in event.procs:
+                if owner[proc] != -1:
+                    other = instance.tasks[int(owner[proc])].name
+                    name = instance.tasks[event.task_index].name
+                    raise InvalidScheduleError(
+                        f"task {name!r} starts on processor {proc} while {other!r} "
+                        f"is still running"
+                    )
+                owner[proc] = event.task_index
+            duration = instance.tasks[event.task_index].time(event.num_procs)
+            busy[event.first_proc : event.first_proc + event.num_procs] += duration
+        processed.append(event)
+    if np.any(owner != -1):
+        raise InvalidScheduleError("simulation ended with tasks still running")
+    return SimulationResult(
+        makespan=makespan, events=processed, busy_time=busy, num_procs=m
+    )
+
+
+class OnlineListSimulator:
+    """Online contiguous list scheduling of a rigid allotment.
+
+    Tasks are released at time 0 and kept in a fixed priority order.  Every
+    time processors free up, the waiting queue is scanned in priority order
+    and every task whose processor requirement fits a contiguous free block
+    is started (leftmost fitting block).  This is the event-driven counterpart
+    of Graham's list scheduling with contiguous allocations.
+    """
+
+    def __init__(self, allotment: Allotment, order: list[int] | None = None) -> None:
+        self.allotment = allotment
+        self.instance = allotment.instance
+        if order is None:
+            times = allotment.times()
+            order = sorted(range(len(allotment)), key=lambda i: (-times[i], i))
+        self.order = list(order)
+
+    def _find_block(self, free: np.ndarray, width: int) -> int | None:
+        """Leftmost contiguous block of ``width`` free processors, or None."""
+        run = 0
+        for proc in range(free.size):
+            if free[proc]:
+                run += 1
+                if run >= width:
+                    return proc - width + 1
+            else:
+                run = 0
+        return None
+
+    def run(self) -> Schedule:
+        """Simulate the policy and return the resulting schedule."""
+        instance = self.instance
+        m = instance.num_procs
+        free = np.ones(m, dtype=bool)
+        pending = list(self.order)
+        schedule = Schedule(instance, algorithm="online-list")
+        finish_heap: list[tuple[float, int, int, int]] = []  # (time, task, first, width)
+        clock = 0.0
+        guard = 0
+        while pending or finish_heap:
+            guard += 1
+            if guard > 10 * (instance.num_tasks + 1) * (m + 1):
+                raise SchedulingError("online simulation failed to make progress")
+            # Start every pending task that fits, in priority order.
+            started_any = True
+            while started_any:
+                started_any = False
+                for task_index in list(pending):
+                    width = self.allotment[task_index]
+                    block = self._find_block(free, width)
+                    if block is None:
+                        continue
+                    duration = instance.tasks[task_index].time(width)
+                    schedule.add(task_index, clock, block, width)
+                    free[block : block + width] = False
+                    heapq.heappush(
+                        finish_heap, (clock + duration, task_index, block, width)
+                    )
+                    pending.remove(task_index)
+                    started_any = True
+            if not finish_heap:
+                if pending:
+                    raise SchedulingError(
+                        "pending tasks cannot be started on an idle machine"
+                    )
+                break
+            # Advance to the next completion(s).
+            clock, task_index, block, width = heapq.heappop(finish_heap)
+            free[block : block + width] = True
+            while finish_heap and abs(finish_heap[0][0] - clock) <= 1e-12:
+                _, t2, b2, w2 = heapq.heappop(finish_heap)
+                free[b2 : b2 + w2] = True
+        schedule.validate()
+        return schedule

@@ -1,0 +1,38 @@
+"""Event types of the discrete-event machine simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.Enum):
+    """Kind of a simulation event."""
+
+    TASK_START = "start"
+    TASK_FINISH = "finish"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped simulation event.
+
+    Events are ordered by time; at equal times, finish events are processed
+    before start events (``priority`` 0 vs 1) so that a task may start
+    exactly when another one releases its processors.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    kind: EventKind = field(compare=False)
+    task_index: int = field(compare=False)
+    first_proc: int = field(compare=False)
+    num_procs: int = field(compare=False)
+
+    @property
+    def procs(self) -> range:
+        """The processors touched by the event."""
+        return range(self.first_proc, self.first_proc + self.num_procs)

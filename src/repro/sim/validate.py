@@ -1,0 +1,27 @@
+"""End-to-end schedule validation through simulation."""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidScheduleError
+from ..model.schedule import Schedule
+from .engine import SimulationResult, simulate_schedule
+
+__all__ = ["simulate_and_check"]
+
+
+def simulate_and_check(schedule: Schedule, *, tol: float = 1e-6) -> SimulationResult:
+    """Validate statically, execute on the simulator and cross-check the makespan.
+
+    Returns the :class:`~repro.sim.engine.SimulationResult`; raises
+    :class:`~repro.exceptions.InvalidScheduleError` when the static and
+    simulated views disagree.
+    """
+    schedule.validate()
+    result = simulate_schedule(schedule)
+    static = schedule.makespan()
+    if abs(result.makespan - static) > tol * max(1.0, static):
+        raise InvalidScheduleError(
+            f"simulated makespan {result.makespan:.6g} differs from the static "
+            f"makespan {static:.6g}"
+        )
+    return result

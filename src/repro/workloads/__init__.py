@@ -1,0 +1,36 @@
+"""Synthetic workloads: random families, adversarial stress instances, ocean AMR."""
+
+from .generators import (
+    WORKLOAD_FAMILIES,
+    as_rng,
+    heavy_tailed_instance,
+    make_workload,
+    mixed_instance,
+    random_monotonic_instance,
+    rigid_heavy_instance,
+    uniform_instance,
+)
+from .adversarial import (
+    fragmentation_instance,
+    lpt_worst_case_instance,
+    property3_stress_instances,
+    shelf_overflow_instance,
+)
+from .ocean import ocean_instance, refinement_field
+
+__all__ = [
+    "WORKLOAD_FAMILIES",
+    "as_rng",
+    "uniform_instance",
+    "mixed_instance",
+    "heavy_tailed_instance",
+    "rigid_heavy_instance",
+    "random_monotonic_instance",
+    "make_workload",
+    "property3_stress_instances",
+    "shelf_overflow_instance",
+    "fragmentation_instance",
+    "lpt_worst_case_instance",
+    "ocean_instance",
+    "refinement_field",
+]

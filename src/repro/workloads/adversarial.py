@@ -1,0 +1,201 @@
+"""Adversarial and stress workloads.
+
+These generators build instances with a *known feasible schedule* (a witness
+of makespan at most a prescribed deadline), which makes them suitable for
+
+* checking Property 3 and Lemma 1 of the canonical list algorithm on
+  instances that are guaranteed to satisfy the premise "a schedule of length
+  1 exists" (:func:`property3_stress_instances`, used by the FIG7/FIG8
+  benchmarks and by :func:`repro.core.theory.m_star_empirical`);
+* stressing the knapsack branch with first shelves that cannot hold every
+  tall task (:func:`shelf_overflow_instance`);
+* exhibiting the fragmentation behaviour of contiguous list scheduling
+  (:func:`fragmentation_instance`);
+* the classical LPT worst case adapted to sequential malleable tasks
+  (:func:`lpt_worst_case_instance`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..model.instance import Instance
+from ..model.speedup import AmdahlSpeedup
+from ..model.task import MalleableTask
+from .generators import as_rng
+
+__all__ = [
+    "property3_stress_instances",
+    "shelf_overflow_instance",
+    "fragmentation_instance",
+    "lpt_worst_case_instance",
+]
+
+
+def _rigid(name: str, duration: float, m: int) -> MalleableTask:
+    return MalleableTask.rigid(name, duration, m)
+
+
+def property3_stress_instances(
+    num_procs: int,
+    mu: float,
+    *,
+    trials: int = 20,
+    rng: int | np.random.Generator | None = None,
+) -> Iterator[Instance]:
+    """Instances admitting a schedule of length 1, built to stress Property 3.
+
+    Each instance is assembled from an explicit witness schedule of makespan
+    at most 1: a block of *tall* tasks (duration in ``(μ, 1]``) occupying
+    disjoint processors, a set of processors carrying *stacked pairs* of
+    shorter tasks (durations summing to at most 1), and optionally a parallel
+    *medium* task (duration in ``(1/2, μ]``) occupying its own processors.
+    The canonical list algorithm run with guess 1 on these instances produces
+    the level structures analysed in the appendix.
+    """
+    if num_procs < 2:
+        return
+    if not 0.5 < mu < 1.0:
+        raise ModelError("mu must lie in (1/2, 1)")
+    generator = as_rng(rng)
+    for trial in range(trials):
+        m = num_procs
+        tasks: list[MalleableTask] = []
+        used = 0
+        tid = 0
+        # Tall block: rigid tasks with duration in (mu, 1].
+        tall_width = int(generator.integers(1, max(2, m - 1)))
+        while used < tall_width:
+            w = int(generator.integers(1, min(4, tall_width - used) + 1))
+            duration = float(generator.uniform(mu + 1e-6, 1.0))
+            profile = np.full(m, duration)
+            profile[w:] = duration  # rigid: no benefit beyond 1 processor
+            tasks.append(_rigid(f"tall{tid}", duration, m))
+            tid += 1
+            used += w
+        # Stacked pairs on the remaining processors.
+        remaining = m - used
+        pair_procs = int(generator.integers(0, remaining + 1)) if remaining else 0
+        for p in range(pair_procs):
+            top = float(generator.uniform(0.05, 0.5))
+            bottom = float(generator.uniform(0.05, min(0.95, 1.0 - top)))
+            tasks.append(_rigid(f"stack{tid}a", bottom, m))
+            tasks.append(_rigid(f"stack{tid}b", top, m))
+            tid += 1
+        # Optionally a parallel medium task on its own processors.
+        remaining = m - used - pair_procs
+        if remaining >= 2 and generator.random() < 0.7:
+            width = int(generator.integers(2, remaining + 1))
+            duration = float(generator.uniform(0.5 + 1e-6, mu))
+            # Malleable: needs `width` processors to reach `duration`.
+            profile = np.array(
+                [duration * width / p for p in range(1, width + 1)]
+                + [duration] * (m - width)
+            )
+            tasks.append(MalleableTask.monotonic_envelope(f"medium{tid}", profile))
+            tid += 1
+        elif remaining >= 1:
+            for extra in range(remaining):
+                duration = float(generator.uniform(0.05, 1.0))
+                tasks.append(_rigid(f"fill{tid}", duration, m))
+                tid += 1
+        if not tasks:
+            continue
+        yield Instance(tasks, m, name=f"property3-stress-{m}-{trial}")
+
+
+def shelf_overflow_instance(
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    tall_fraction: float = 1.4,
+    name: str = "shelf-overflow",
+) -> Instance:
+    """An instance whose tall tasks cannot all sit on the first shelf.
+
+    The canonical allotments of the tall tasks (duration just above
+    ``λ ≈ 0.73`` of the optimum) use about ``tall_fraction · m`` processors,
+    so roughly ``(tall_fraction − 1)·m`` processors worth of tall tasks must
+    be moved to the second shelf by the knapsack — the regime of Section 4.
+    Highly parallelisable tasks keep the move affordable.
+    """
+    if num_procs < 4:
+        raise ModelError("shelf_overflow_instance needs at least 4 processors")
+    rng = as_rng(seed)
+    m = num_procs
+    tasks: list[MalleableTask] = []
+    total_width = 0
+    target_width = int(round(tall_fraction * m))
+    tid = 0
+    while total_width < target_width:
+        width = int(rng.integers(2, max(3, m // 4) + 1))
+        duration = float(rng.uniform(0.8, 1.0))
+        # t(p) = duration * width / p for p <= width (linear speedup region),
+        # then keeps improving slowly up to m.
+        profile = [duration * width / p for p in range(1, m + 1)]
+        tasks.append(MalleableTask.monotonic_envelope(f"tall{tid}", profile))
+        total_width += width
+        tid += 1
+    # Background of small sequential tasks.
+    for _ in range(m):
+        duration = float(rng.uniform(0.05, 0.4))
+        tasks.append(_rigid(f"small{tid}", duration, m))
+        tid += 1
+    return Instance(tasks, m, name=name)
+
+
+def fragmentation_instance(num_procs: int, *, name: str = "fragmentation") -> Instance:
+    """Deterministic instance exhibiting contiguity fragmentation.
+
+    Alternating wide/narrow rigid tasks force the contiguous list scheduler
+    to leave idle gaps between levels — the situation depicted in Figure 2.
+    """
+    if num_procs < 4:
+        raise ModelError("fragmentation_instance needs at least 4 processors")
+    m = num_procs
+    tasks: list[MalleableTask] = []
+    width_big = m // 2
+    # Two long tasks of unequal heights occupying the two halves.
+    tasks.append(
+        MalleableTask.monotonic_envelope(
+            "left", [1.0 * width_big / p for p in range(1, m + 1)]
+        )
+    )
+    tasks.append(
+        MalleableTask.monotonic_envelope(
+            "right", [0.8 * (m - width_big) / p for p in range(1, m + 1)]
+        )
+    )
+    # A medium task that has to rest on one of them (second level).
+    tasks.append(
+        MalleableTask.monotonic_envelope(
+            "second-level", [0.5 * width_big / p for p in range(1, m + 1)]
+        )
+    )
+    # Small sequential tasks that slide into the stair-step idle area.
+    for i in range(m):
+        tasks.append(_rigid(f"filler{i}", 0.15 + 0.01 * i, m))
+    return Instance(tasks, m, name=name)
+
+
+def lpt_worst_case_instance(num_procs: int, *, name: str = "lpt-worst") -> Instance:
+    """Graham's classical LPT worst case, as sequential malleable tasks.
+
+    ``m`` processors, ``2m+1`` sequential tasks with durations
+    ``2m−1, 2m−1, 2m−2, 2m−2, …, m+1, m+1, m, m, m`` — LPT achieves ratio
+    ``4/3 − 1/(3m)`` on the induced rigid problem.  Tasks are rigid
+    (no speedup) so every malleable scheduler faces the same difficulty; used
+    to sanity-check the baselines.
+    """
+    if num_procs < 2:
+        raise ModelError("lpt_worst_case_instance needs at least 2 processors")
+    m = num_procs
+    durations: list[float] = []
+    for k in range(m - 1):
+        durations.extend([float(2 * m - 1 - k)] * 2)
+    durations.extend([float(m)] * 3)
+    tasks = [_rigid(f"J{i}", d, m) for i, d in enumerate(durations)]
+    return Instance(tasks, m, name=name)

@@ -1,0 +1,224 @@
+"""Synthetic workload generators.
+
+The paper announces average-case experiments but does not publish its
+workloads, so this module provides the classical families used to evaluate
+malleable-task schedulers.  Every generator takes an explicit seed or
+:class:`numpy.random.Generator` and returns an
+:class:`~repro.model.instance.Instance` whose tasks all satisfy the monotonic
+assumption (profiles are produced through the speedup models of
+:mod:`repro.model.speedup` and repaired into their monotonic envelope).
+
+Families
+--------
+``uniform_instance``
+    Independent sequential times, a single speedup model.
+``mixed_instance``
+    Sequential times drawn from a log-uniform range with a mixture of speedup
+    behaviours (highly scalable, moderately scalable, nearly sequential) —
+    the default workload of the experiment harness.
+``heavy_tailed_instance``
+    Pareto-distributed sequential times: a few dominant tasks, many tiny
+    ones; stresses the knapsack branch.
+``rigid_heavy_instance``
+    Tasks with bounded parallelism (threshold speedups); stresses the list
+    branch and the strip-packing baselines.
+``random_monotonic_instance``
+    Fully random monotonic profiles without any parametric structure, used by
+    the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..model.instance import Instance
+from ..model.speedup import (
+    AmdahlSpeedup,
+    CommunicationOverheadSpeedup,
+    PowerLawSpeedup,
+    SpeedupModel,
+    ThresholdSpeedup,
+)
+from ..model.task import MalleableTask
+
+__all__ = [
+    "as_rng",
+    "uniform_instance",
+    "mixed_instance",
+    "heavy_tailed_instance",
+    "rigid_heavy_instance",
+    "random_monotonic_instance",
+    "WORKLOAD_FAMILIES",
+    "make_workload",
+]
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalise a seed or generator into a :class:`numpy.random.Generator`."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _draw_speedup_model(rng: np.random.Generator) -> SpeedupModel:
+    """A random speedup model from a realistic mixture."""
+    kind = rng.choice(["amdahl", "powerlaw", "comm", "threshold"], p=[0.35, 0.3, 0.2, 0.15])
+    if kind == "amdahl":
+        return AmdahlSpeedup(serial_fraction=float(rng.uniform(0.01, 0.4)))
+    if kind == "powerlaw":
+        return PowerLawSpeedup(alpha=float(rng.uniform(0.5, 0.98)))
+    if kind == "comm":
+        return CommunicationOverheadSpeedup(overhead=float(rng.uniform(0.001, 0.05)))
+    return ThresholdSpeedup(parallelism=int(rng.integers(1, 17)))
+
+
+def uniform_instance(
+    num_tasks: int,
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    time_range: tuple[float, float] = (1.0, 10.0),
+    serial_fraction: float = 0.1,
+    name: str = "uniform",
+) -> Instance:
+    """Uniform sequential times, one Amdahl speedup model for every task."""
+    if num_tasks < 1 or num_procs < 1:
+        raise ModelError("num_tasks and num_procs must be >= 1")
+    rng = as_rng(seed)
+    model = AmdahlSpeedup(serial_fraction=serial_fraction)
+    tasks = [
+        model.make_task(f"T{i}", float(rng.uniform(*time_range)), num_procs)
+        for i in range(num_tasks)
+    ]
+    return Instance(tasks, num_procs, name=name)
+
+
+def mixed_instance(
+    num_tasks: int,
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    time_range: tuple[float, float] = (0.5, 20.0),
+    name: str = "mixed",
+) -> Instance:
+    """Log-uniform sequential times with a mixture of speedup behaviours."""
+    if num_tasks < 1 or num_procs < 1:
+        raise ModelError("num_tasks and num_procs must be >= 1")
+    rng = as_rng(seed)
+    lo, hi = time_range
+    tasks = []
+    for i in range(num_tasks):
+        seq = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        model = _draw_speedup_model(rng)
+        tasks.append(model.make_task(f"T{i}", seq, num_procs))
+    return Instance(tasks, num_procs, name=name)
+
+
+def heavy_tailed_instance(
+    num_tasks: int,
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    pareto_shape: float = 1.5,
+    scale: float = 1.0,
+    name: str = "heavy-tailed",
+) -> Instance:
+    """Pareto-distributed sequential times (a few dominant tasks).
+
+    Large tasks receive scalable profiles (they dominate the schedule and
+    must be parallelised) while small tasks get modest speedups — the regime
+    in which the knapsack branch of the algorithm matters most.
+    """
+    if num_tasks < 1 or num_procs < 1:
+        raise ModelError("num_tasks and num_procs must be >= 1")
+    rng = as_rng(seed)
+    seq_times = scale * (1.0 + rng.pareto(pareto_shape, size=num_tasks))
+    median = float(np.median(seq_times))
+    tasks = []
+    for i, seq in enumerate(seq_times):
+        if seq >= median:
+            model: SpeedupModel = PowerLawSpeedup(alpha=float(rng.uniform(0.8, 0.98)))
+        else:
+            model = AmdahlSpeedup(serial_fraction=float(rng.uniform(0.2, 0.6)))
+        tasks.append(model.make_task(f"T{i}", float(seq), num_procs))
+    return Instance(tasks, num_procs, name=name)
+
+
+def rigid_heavy_instance(
+    num_tasks: int,
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    max_parallelism_fraction: float = 0.5,
+    time_range: tuple[float, float] = (1.0, 8.0),
+    name: str = "rigid-heavy",
+) -> Instance:
+    """Tasks with a hard parallelism bound (threshold speedups)."""
+    if num_tasks < 1 or num_procs < 1:
+        raise ModelError("num_tasks and num_procs must be >= 1")
+    rng = as_rng(seed)
+    max_par = max(1, int(round(max_parallelism_fraction * num_procs)))
+    tasks = []
+    for i in range(num_tasks):
+        model = ThresholdSpeedup(parallelism=int(rng.integers(1, max_par + 1)))
+        seq = float(rng.uniform(*time_range))
+        tasks.append(model.make_task(f"T{i}", seq, num_procs))
+    return Instance(tasks, num_procs, name=name)
+
+
+def random_monotonic_instance(
+    num_tasks: int,
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    time_range: tuple[float, float] = (0.1, 10.0),
+    name: str = "random-monotonic",
+) -> Instance:
+    """Fully random monotonic profiles without parametric structure.
+
+    Each profile is built by drawing a random sequential time and random
+    per-processor *efficiencies* in ``(0, 1]``, then repairing the resulting
+    time profile into its monotonic envelope.  Used by the property-based
+    tests to exercise the algorithms far from the parametric families.
+    """
+    if num_tasks < 1 or num_procs < 1:
+        raise ModelError("num_tasks and num_procs must be >= 1")
+    rng = as_rng(seed)
+    tasks = []
+    for i in range(num_tasks):
+        seq = float(rng.uniform(*time_range))
+        efficiencies = rng.uniform(0.2, 1.0, size=num_procs)
+        efficiencies[0] = 1.0
+        procs = np.arange(1, num_procs + 1)
+        times = seq / (procs * efficiencies)
+        tasks.append(MalleableTask.monotonic_envelope(f"T{i}", times))
+    return Instance(tasks, num_procs, name=name)
+
+
+#: Named workload families used by the experiment harness and the CLI.
+WORKLOAD_FAMILIES = {
+    "uniform": uniform_instance,
+    "mixed": mixed_instance,
+    "heavy-tailed": heavy_tailed_instance,
+    "rigid-heavy": rigid_heavy_instance,
+    "random-monotonic": random_monotonic_instance,
+}
+
+
+def make_workload(
+    family: str,
+    num_tasks: int,
+    num_procs: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Instance:
+    """Instantiate a named workload family (see :data:`WORKLOAD_FAMILIES`)."""
+    if family not in WORKLOAD_FAMILIES:
+        raise ModelError(
+            f"unknown workload family {family!r}; choose from "
+            f"{sorted(WORKLOAD_FAMILIES)}"
+        )
+    return WORKLOAD_FAMILIES[family](num_tasks, num_procs, seed=seed)

@@ -1,0 +1,134 @@
+"""Synthetic ocean-circulation workload (the paper's motivating application).
+
+Section 1 of the paper motivates malleable tasks with a parallel code for
+"the simulation of the circulations in the Atlantic Ocean" using adaptive
+meshing (reference [3], Blayo, Debreu, Mounié & Trystram).  In that code the
+ocean is decomposed into rectangular sub-domains refined adaptively; each
+refined sub-domain is a malleable task whose work grows with its mesh
+resolution and whose parallel efficiency is limited by the halo-exchange
+communications on the sub-domain boundary.
+
+The original traces are not public, so this module synthesises a workload
+with the same structure:
+
+* a coarse root domain is split into ``blocks × blocks`` rectangular patches;
+* each patch receives a refinement level drawn from a spatially correlated
+  field (eddy-rich regions are refined more), its work scaling with
+  ``refinement**2`` (points) times ``refinement`` (time steps);
+* the speedup of a patch follows a surface-to-volume communication model:
+  computing ``n_points/p`` points per processor costs
+  ``n_points/p + c·boundary(p)`` time units, which is exactly the
+  communication-overhead malleable behaviour the paper assumes.
+
+The resulting instance is what the ``ocean_circulation.py`` example and the
+EXP-A experiment use as the "application-like" workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..model.instance import Instance
+from ..model.task import MalleableTask
+from .generators import as_rng
+
+__all__ = ["ocean_instance", "refinement_field"]
+
+
+def refinement_field(
+    blocks: int,
+    *,
+    max_level: int = 4,
+    rng: int | np.random.Generator | None = None,
+    smoothing: int = 2,
+) -> np.ndarray:
+    """Spatially correlated refinement levels on a ``blocks × blocks`` grid.
+
+    A white-noise field is smoothed by repeated neighbour averaging and then
+    quantised into ``1..max_level`` so that neighbouring patches have similar
+    refinement — mimicking eddy-rich regions of an adaptive ocean mesh.
+    """
+    if blocks < 1:
+        raise ModelError("blocks must be >= 1")
+    if max_level < 1:
+        raise ModelError("max_level must be >= 1")
+    generator = as_rng(rng)
+    field = generator.random((blocks, blocks))
+    for _ in range(max(0, smoothing)):
+        padded = np.pad(field, 1, mode="edge")
+        field = (
+            padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+            + padded[1:-1, 1:-1]
+        ) / 5.0
+    lo, hi = field.min(), field.max()
+    if hi - lo < 1e-12:
+        normalised = np.zeros_like(field)
+    else:
+        normalised = (field - lo) / (hi - lo)
+    levels = 1 + np.floor(normalised * max_level).astype(int)
+    return np.clip(levels, 1, max_level)
+
+
+def ocean_instance(
+    num_procs: int,
+    *,
+    blocks: int = 6,
+    base_points: int = 64,
+    max_level: int = 4,
+    comm_cost: float = 0.02,
+    time_unit: float = 1e-3,
+    seed: int | np.random.Generator | None = None,
+    name: str = "ocean",
+) -> Instance:
+    """Build the synthetic adaptive-mesh ocean workload.
+
+    Parameters
+    ----------
+    num_procs:
+        Machine size ``m``.
+    blocks:
+        The root domain is split into ``blocks × blocks`` patches, one
+        malleable task each.
+    base_points:
+        Number of grid points per side of an unrefined patch.
+    max_level:
+        Maximum refinement level; a level-``l`` patch has
+        ``(base_points · l)²`` points and performs ``l`` times more time
+        steps per coupling interval.
+    comm_cost:
+        Halo-exchange cost per boundary point relative to the per-point
+        computation cost.
+    time_unit:
+        Seconds of computation per grid point (scales the instance).
+    seed:
+        RNG seed for the refinement field.
+    """
+    if num_procs < 1:
+        raise ModelError("num_procs must be >= 1")
+    generator = as_rng(seed)
+    levels = refinement_field(blocks, max_level=max_level, rng=generator)
+    tasks: list[MalleableTask] = []
+    for i in range(blocks):
+        for j in range(blocks):
+            level = int(levels[i, j])
+            side = base_points * level
+            points = side * side
+            steps = level
+            work = points * steps  # grid points × sub-cycled time steps
+            times = []
+            for p in range(1, num_procs + 1):
+                # 1-D strip decomposition of the patch over p processors:
+                # each processor holds ceil(side/p) rows of `side` points and
+                # exchanges two halo rows per neighbour per step.
+                rows = int(np.ceil(side / p))
+                compute = rows * side * steps
+                halo = 0.0 if p == 1 else 2.0 * side * steps * comm_cost
+                times.append((compute + halo) * time_unit)
+            tasks.append(
+                MalleableTask.monotonic_envelope(f"patch[{i},{j}]x{level}", times)
+            )
+    return Instance(tasks, num_procs, name=name)

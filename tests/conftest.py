@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AmdahlSpeedup,
+    Instance,
+    MalleableTask,
+    PerfectSpeedup,
+    mixed_instance,
+    uniform_instance,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def perfect_task() -> MalleableTask:
+    """A perfectly parallel task with sequential time 8 on up to 8 processors."""
+    return MalleableTask.constant_work("perfect", 8.0, 8)
+
+
+@pytest.fixture
+def rigid_task() -> MalleableTask:
+    """A task that does not benefit from parallelism."""
+    return MalleableTask.rigid("rigid", 3.0, 8)
+
+
+@pytest.fixture
+def amdahl_task() -> MalleableTask:
+    """An Amdahl task (20% serial) with sequential time 10 on 8 processors."""
+    return AmdahlSpeedup(0.2).make_task("amdahl", 10.0, 8)
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """A 4-task, 4-processor instance with hand-picked profiles."""
+    tasks = [
+        MalleableTask("a", [4.0, 2.2, 1.6, 1.3]),
+        MalleableTask("b", [3.0, 1.8, 1.4, 1.2]),
+        MalleableTask("c", [2.0, 1.2, 1.0, 0.9]),
+        MalleableTask("d", [1.0, 0.8, 0.7, 0.65]),
+    ]
+    return Instance(tasks, 4, name="tiny")
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    """Deterministic 12-task, 8-processor mixed instance."""
+    return mixed_instance(num_tasks=12, num_procs=8, seed=7, name="small")
+
+
+@pytest.fixture
+def medium_instance() -> Instance:
+    """Deterministic 30-task, 16-processor mixed instance."""
+    return mixed_instance(num_tasks=30, num_procs=16, seed=11, name="medium")
+
+
+@pytest.fixture
+def uniform_instance_16() -> Instance:
+    """Uniform instance on 16 processors."""
+    return uniform_instance(num_tasks=24, num_procs=16, seed=3)

@@ -1,0 +1,101 @@
+"""Unit tests for Allotment (repro.model.allotment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Allotment, Instance, MalleableTask, ModelError
+
+
+@pytest.fixture
+def inst() -> Instance:
+    tasks = [
+        MalleableTask("a", [6.0, 3.5, 2.5, 2.0]),
+        MalleableTask("b", [4.0, 2.5, 2.0, 1.8]),
+        MalleableTask("c", [1.0, 0.9, 0.85, 0.8]),
+    ]
+    return Instance(tasks, 4)
+
+
+class TestConstruction:
+    def test_basic(self, inst):
+        allot = Allotment(inst, [2, 1, 1])
+        assert len(allot) == 3
+        assert allot[0] == 2
+        assert list(allot) == [2, 1, 1]
+
+    def test_wrong_length(self, inst):
+        with pytest.raises(ModelError):
+            Allotment(inst, [1, 1])
+
+    def test_out_of_range(self, inst):
+        with pytest.raises(ModelError):
+            Allotment(inst, [0, 1, 1])
+        with pytest.raises(ModelError):
+            Allotment(inst, [1, 5, 1])
+
+    def test_readonly(self, inst):
+        allot = Allotment(inst, [1, 1, 1])
+        with pytest.raises(ValueError):
+            allot.procs[0] = 3
+
+    def test_equality(self, inst):
+        assert Allotment(inst, [1, 2, 3]) == Allotment(inst, [1, 2, 3])
+        assert Allotment(inst, [1, 2, 3]) != Allotment(inst, [1, 2, 2])
+
+
+class TestConstructors:
+    def test_sequential(self, inst):
+        allot = Allotment.sequential(inst)
+        assert np.all(allot.procs == 1)
+
+    def test_gang(self, inst):
+        allot = Allotment.gang(inst)
+        assert np.all(allot.procs == 4)
+
+    def test_canonical(self, inst):
+        allot = Allotment.canonical(inst, 2.5)
+        assert allot is not None
+        assert allot[0] == 3  # task a needs 3 processors for t <= 2.5
+        assert allot[1] == 2
+        assert allot[2] == 1
+
+    def test_canonical_infeasible(self, inst):
+        assert Allotment.canonical(inst, 0.5) is None
+
+
+class TestInducedQuantities:
+    def test_times_and_works(self, inst):
+        allot = Allotment(inst, [2, 1, 1])
+        assert allot.times() == pytest.approx([3.5, 4.0, 1.0])
+        assert allot.works() == pytest.approx([7.0, 4.0, 1.0])
+        assert allot.total_work() == pytest.approx(12.0)
+        assert allot.max_time() == pytest.approx(4.0)
+
+    def test_bounds(self, inst):
+        allot = Allotment(inst, [2, 1, 1])
+        assert allot.area_bound() == pytest.approx(3.0)
+        assert allot.lower_bound() == pytest.approx(4.0)
+
+    def test_parallel_and_sequential_indices(self, inst):
+        allot = Allotment(inst, [3, 1, 2])
+        assert allot.parallel_indices() == [0, 2]
+        assert allot.sequential_indices() == [1]
+
+    def test_rectangles(self, inst):
+        allot = Allotment(inst, [2, 1, 1])
+        rects = allot.rectangles()
+        assert rects[0] == (0, 2, pytest.approx(3.5))
+
+    def test_replace(self, inst):
+        allot = Allotment(inst, [1, 1, 1])
+        other = allot.replace(0, 3)
+        assert other[0] == 3 and allot[0] == 1
+
+    def test_monotone_work_in_allotment(self, inst):
+        """Work never decreases when any single task gets more processors."""
+        base = Allotment.sequential(inst)
+        for i in range(len(base)):
+            for p in range(2, 5):
+                assert base.replace(i, p).total_work() >= base.total_work() - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for metrics, Gantt rendering, tables and the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MRTScheduler, evaluate_schedule, gantt_chart, mixed_instance
+from repro.analysis.experiments import (
+    ComparisonResult,
+    RunRecord,
+    default_schedulers,
+    run_comparison,
+    sweep_workloads,
+)
+from repro.analysis.gantt import shelf_summary
+from repro.analysis.metrics import approximation_ratio
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.baselines.sequential import SequentialLPTScheduler
+
+
+class TestMetrics:
+    def test_evaluate_schedule_fields(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        metrics = evaluate_schedule(schedule)
+        assert metrics.algorithm == schedule.algorithm
+        assert metrics.makespan == pytest.approx(schedule.makespan())
+        assert metrics.ratio >= 1.0 - 1e-9
+        assert 0.0 < metrics.utilization <= 1.0 + 1e-9
+        assert metrics.work_inflation >= 1.0 - 1e-9
+
+    def test_approximation_ratio_custom_bound(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        assert approximation_ratio(schedule, lower_bound=schedule.makespan()) == pytest.approx(1.0)
+
+    def test_approximation_ratio_zero_bound(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        assert approximation_ratio(schedule, lower_bound=0.0) == float("inf")
+
+
+class TestGantt:
+    def test_contains_all_processors(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        text = gantt_chart(schedule)
+        for proc in range(small_instance.num_procs):
+            assert f"P{proc:>3} |" in text
+
+    def test_empty_schedule(self, small_instance):
+        from repro import Schedule
+
+        assert gantt_chart(Schedule(small_instance)) == "(empty schedule)"
+
+    def test_legend_optional(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        assert "legend:" in gantt_chart(schedule, legend=True)
+        assert "legend:" not in gantt_chart(schedule, legend=False)
+
+    def test_shelf_summary_lines(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        text = shelf_summary(schedule)
+        assert text.count("\n") + 1 == len({round(e.start, 9) for e in schedule.entries})
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["x"], [[1.23456]])
+        assert text.splitlines()[0] == "| x |"
+        assert "1.235" in text
+
+
+class TestExperimentHarness:
+    def test_run_comparison_records(self, small_instance):
+        result = run_comparison(
+            [small_instance], [MRTScheduler(), SequentialLPTScheduler()]
+        )
+        assert len(result.records) == 2
+        assert set(result.algorithms()) == {"mrt-sqrt3", "sequential-lpt"}
+        for record in result.records:
+            assert record.ratio >= 1.0 - 1e-9
+            assert record.runtime_seconds >= 0
+
+    def test_summary_table_has_all_algorithms(self, small_instance):
+        result = run_comparison(
+            [small_instance], [MRTScheduler(), SequentialLPTScheduler()]
+        )
+        table = result.summary_table()
+        assert "mrt-sqrt3" in table and "sequential-lpt" in table
+
+    def test_grouped_by_procs(self):
+        records = [
+            RunRecord("i", "f", 4, 8, "a", 2.0, 1.0, 2.0, 0.0),
+            RunRecord("i", "f", 4, 8, "a", 4.0, 1.0, 4.0, 0.0),
+            RunRecord("i", "f", 4, 16, "a", 3.0, 1.0, 3.0, 0.0),
+        ]
+        result = ComparisonResult(records=records)
+        grouped = result.grouped_by_procs("a")
+        assert grouped[8] == pytest.approx(3.0)
+        assert grouped[16] == pytest.approx(3.0)
+
+    def test_default_schedulers_line_up(self):
+        names = {s.name for s in default_schedulers()}
+        assert "mrt-sqrt3" in names
+        assert any(name.startswith("ludwig") for name in names)
+        assert any(name.startswith("turek") for name in names)
+
+    def test_sweep_workloads_small(self):
+        result = sweep_workloads(
+            families=("uniform",),
+            num_tasks=8,
+            machine_sizes=(4,),
+            repetitions=1,
+            seed=0,
+            schedulers=[MRTScheduler(), SequentialLPTScheduler()],
+        )
+        assert len(result.records) == 2
+        assert result.records[0].family == "uniform"

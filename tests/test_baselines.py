@@ -1,0 +1,153 @@
+"""Tests for the baseline schedulers (listsched, turek, ludwig, gang, sequential)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Allotment,
+    GangScheduler,
+    Instance,
+    LudwigScheduler,
+    MalleableTask,
+    SequentialLPTScheduler,
+    TurekScheduler,
+    best_lower_bound,
+    mixed_instance,
+)
+from repro.baselines.listsched import (
+    RigidLPTScheduler,
+    largest_width_order,
+    lpt_order,
+    rigid_list_schedule,
+)
+from repro.baselines.ludwig import select_min_lower_bound_allotment
+from repro.baselines.turek import candidate_thresholds, canonical_allotment_for_threshold
+from repro.workloads.adversarial import lpt_worst_case_instance
+
+
+class TestRigidListScheduling:
+    def test_lpt_order_sorted_by_time(self, medium_instance):
+        allotment = Allotment.sequential(medium_instance)
+        order = lpt_order(allotment)
+        times = allotment.times()
+        assert all(times[a] >= times[b] - 1e-12 for a, b in zip(order, order[1:]))
+
+    def test_largest_width_order(self, medium_instance):
+        allotment = Allotment.canonical(
+            medium_instance, medium_instance.lower_bound() * 1.2
+        )
+        if allotment is None:
+            pytest.skip("canonical allotment infeasible")
+        order = largest_width_order(allotment)
+        widths = [allotment[i] for i in order]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_rigid_list_schedule_valid(self, medium_instance):
+        allotment = Allotment.sequential(medium_instance)
+        schedule = rigid_list_schedule(allotment)
+        schedule.validate()
+        assert schedule.is_complete()
+
+    def test_sequential_lpt_graham_bound(self):
+        """LPT on sequential tasks is within 4/3 of the rigid optimum (area bound)."""
+        inst = lpt_worst_case_instance(6)
+        schedule = SequentialLPTScheduler().schedule(inst)
+        area_bound = inst.total_sequential_work() / inst.num_procs
+        assert schedule.makespan() <= (4 / 3) * max(
+            area_bound, inst.max_sequential_time()
+        ) + 1e-9
+
+    def test_rigid_lpt_scheduler_invalid_param(self):
+        with pytest.raises(ValueError):
+            RigidLPTScheduler(0)
+
+    def test_rigid_lpt_scheduler_clips_to_machine(self, small_instance):
+        schedule = RigidLPTScheduler(procs_per_task=1000).schedule(small_instance)
+        schedule.validate()
+        for entry in schedule.entries:
+            assert entry.num_procs == small_instance.num_procs
+
+
+class TestTurek:
+    def test_candidate_thresholds_sorted_unique(self, small_instance):
+        values = candidate_thresholds(small_instance)
+        assert values == sorted(values)
+        assert len(values) == len(set(values))
+
+    def test_candidate_thresholds_capped(self, medium_instance):
+        values = candidate_thresholds(medium_instance, max_candidates=10)
+        assert len(values) <= 10
+
+    def test_allotment_for_threshold(self, small_instance):
+        big = small_instance.max_sequential_time()
+        allotment = canonical_allotment_for_threshold(small_instance, big)
+        assert allotment is not None
+        assert all(p == 1 for p in allotment)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_and_within_factor_three(self, seed):
+        inst = mixed_instance(15, 8, seed=seed)
+        scheduler = TurekScheduler(max_candidates=64)
+        schedule = scheduler.schedule(inst)
+        schedule.validate()
+        assert schedule.is_complete()
+        assert schedule.makespan() <= 3.0 * best_lower_bound(inst) + 1e-9
+        assert scheduler.last_threshold is not None
+
+
+class TestLudwig:
+    def test_allotment_minimises_lower_bound(self, small_instance):
+        allotment, value = select_min_lower_bound_allotment(small_instance)
+        assert value == pytest.approx(allotment.lower_bound())
+        # no canonical allotment of any threshold does better
+        for threshold in candidate_thresholds(small_instance):
+            other = Allotment.canonical(small_instance, threshold)
+            if other is not None:
+                assert value <= other.lower_bound() + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_and_within_factor_three(self, seed):
+        inst = mixed_instance(15, 8, seed=seed)
+        scheduler = LudwigScheduler()
+        schedule = scheduler.schedule(inst)
+        schedule.validate()
+        assert schedule.makespan() <= 3.0 * best_lower_bound(inst) + 1e-9
+        assert scheduler.last_lower_bound is not None
+
+    def test_ludwig_vs_turek_same_packer(self, small_instance):
+        """Turek enumerates a superset of Ludwig's single candidate."""
+        turek = TurekScheduler(packer="ffdh", max_candidates=None).schedule(small_instance)
+        ludwig = LudwigScheduler(packer="ffdh").schedule(small_instance)
+        assert turek.makespan() <= ludwig.makespan() + 1e-9
+
+
+class TestGangAndSequential:
+    def test_gang_makespan_is_sum_of_parallel_times(self, small_instance):
+        schedule = GangScheduler().schedule(small_instance)
+        expected = sum(
+            t.time(small_instance.num_procs) for t in small_instance.tasks
+        )
+        assert schedule.makespan() == pytest.approx(expected)
+
+    def test_gang_uses_all_processors(self, small_instance):
+        schedule = GangScheduler().schedule(small_instance)
+        for entry in schedule.entries:
+            assert entry.num_procs == small_instance.num_procs
+
+    def test_sequential_uses_one_processor_each(self, small_instance):
+        schedule = SequentialLPTScheduler().schedule(small_instance)
+        for entry in schedule.entries:
+            assert entry.num_procs == 1
+
+    def test_gang_optimal_for_perfectly_parallel_tasks(self):
+        tasks = [MalleableTask.constant_work(f"t{i}", 4.0, 8) for i in range(3)]
+        inst = Instance(tasks, 8)
+        gang = GangScheduler().schedule(inst)
+        assert gang.makespan() == pytest.approx(best_lower_bound(inst))
+
+    def test_sequential_optimal_for_many_tiny_rigid_tasks(self):
+        tasks = [MalleableTask.rigid(f"t{i}", 1.0, 4) for i in range(8)]
+        inst = Instance(tasks, 4)
+        seq = SequentialLPTScheduler().schedule(inst)
+        assert seq.makespan() == pytest.approx(2.0)

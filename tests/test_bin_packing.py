@@ -1,0 +1,97 @@
+"""Tests for 1-D bin packing under a deadline (repro.packing.bin_packing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.packing import (
+    best_fit,
+    first_fit,
+    first_fit_decreasing,
+    num_bins_first_fit,
+)
+
+ALGOS = [first_fit, first_fit_decreasing, best_fit]
+
+
+@pytest.mark.parametrize("algo", ALGOS, ids=lambda f: f.__name__)
+class TestCommonPackingBehaviour:
+    def test_all_items_packed(self, algo):
+        sizes = [0.4, 0.3, 0.6, 0.2, 0.5]
+        result = algo(sizes, 1.0)
+        packed = sorted(i for b in result.bins for i in b)
+        assert packed == list(range(len(sizes)))
+        result.validate(sizes)
+
+    def test_capacity_respected(self, algo, rng):
+        sizes = rng.uniform(0.05, 0.9, size=50).tolist()
+        result = algo(sizes, 1.0)
+        assert all(load <= 1.0 + 1e-9 for load in result.loads)
+
+    def test_oversized_item_raises(self, algo):
+        with pytest.raises(InfeasibleError):
+            algo([0.5, 1.5], 1.0)
+
+    def test_empty_input(self, algo):
+        result = algo([], 1.0)
+        assert result.num_bins == 0
+
+    def test_not_worse_than_twice_optimal_area(self, algo, rng):
+        """Any-fit algorithms never use more than 2·⌈total⌉ + 1 bins."""
+        sizes = rng.uniform(0.05, 1.0, size=80).tolist()
+        result = algo(sizes, 1.0)
+        assert result.num_bins <= 2 * int(np.ceil(sum(sizes))) + 1
+
+    def test_assignment_consistent_with_bins(self, algo):
+        sizes = [0.5, 0.5, 0.5]
+        result = algo(sizes, 1.0)
+        for i, b in result.assignment.items():
+            assert i in result.bins[b]
+
+
+class TestFirstFitSpecific:
+    def test_first_fit_keeps_input_order_greedy(self):
+        result = first_fit([0.6, 0.6, 0.3], 1.0)
+        assert result.bins[0] == [0, 2]
+        assert result.bins[1] == [1]
+
+    def test_half_full_property(self, rng):
+        """The property used by the paper: all bins but at most one are > capacity/2.
+
+        Holds for First Fit because two bins at most half full would have been
+        merged by the greedy rule.
+        """
+        sizes = rng.uniform(0.05, 0.95, size=60).tolist()
+        result = first_fit(sizes, 1.0)
+        light_bins = [load for load in result.loads if load <= 0.5]
+        assert len(light_bins) <= 1
+
+    def test_num_bins_helper(self):
+        assert num_bins_first_fit([], 1.0) == 0
+        assert num_bins_first_fit([0.7, 0.7], 1.0) == 2
+        assert num_bins_first_fit([0.5, 0.5], 1.0) == 1
+
+
+class TestFFDAndBestFit:
+    def test_ffd_no_worse_than_ff_on_classic_example(self):
+        sizes = [0.2, 0.5, 0.4, 0.7, 0.1, 0.3, 0.8]
+        assert (
+            first_fit_decreasing(sizes, 1.0).num_bins
+            <= first_fit(sizes, 1.0).num_bins
+        )
+
+    def test_best_fit_prefers_fullest_bin(self):
+        result = best_fit([0.5, 0.7, 0.2], 1.0)
+        # 0.2 joins the 0.7 bin (slack 0.1) rather than the 0.5 bin (slack 0.3),
+        # whereas First Fit would put it with 0.5
+        assert result.assignment[2] == result.assignment[1]
+        ff = first_fit([0.5, 0.7, 0.2], 1.0)
+        assert ff.assignment[2] == ff.assignment[0]
+
+    def test_validate_catches_corruption(self):
+        result = first_fit([0.4, 0.4], 1.0)
+        result.loads[0] = 99.0
+        with pytest.raises(InfeasibleError):
+            result.validate([0.4, 0.4])

@@ -1,0 +1,119 @@
+"""Tests for the Canonical List Algorithm (Section 3.2, Theorem 2, Lemma 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import CanonicalListScheduler, best_lower_bound, mixed_instance
+from repro.core.canonical_list import (
+    MU_STAR,
+    CanonicalListDual,
+    canonical_list_schedule,
+    first_two_level_completion,
+    outside_levels_are_small_sequential,
+)
+from repro.core.list_scheduling import compute_levels
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.adversarial import property3_stress_instances
+
+
+class TestCanonicalListSchedule:
+    def test_mu_star_value(self):
+        assert MU_STAR == pytest.approx(math.sqrt(3) / 2)
+
+    def test_none_on_infeasible_guess(self, medium_instance):
+        assert canonical_list_schedule(medium_instance, 1e-9) is None
+        assert canonical_list_schedule(medium_instance, -1.0) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_complete_schedule(self, seed):
+        inst = mixed_instance(18, 12, seed=seed)
+        guess = canonical_area_lower_bound(inst) * 1.3
+        schedule = canonical_list_schedule(inst, guess)
+        if schedule is None:
+            pytest.skip("guess infeasible for the canonical allotment")
+        schedule.validate()
+        assert schedule.is_complete()
+
+    def test_every_task_uses_canonical_allotment(self, medium_instance):
+        guess = canonical_area_lower_bound(medium_instance) * 1.2
+        schedule = canonical_list_schedule(medium_instance, guess)
+        assert schedule is not None
+        for entry in schedule.entries:
+            task = medium_instance.tasks[entry.task_index]
+            assert entry.num_procs == task.canonical_procs(guess)
+
+    def test_tasks_with_time_above_half_on_first_level(self):
+        """Tasks of canonical time > d/2 land on the first level when OPT <= d.
+
+        This is the structural fact behind Lemma 1: only small sequential
+        tasks can be pushed above the first level.
+        """
+        for inst in property3_stress_instances(12, MU_STAR, trials=10, rng=5):
+            schedule = canonical_list_schedule(inst, 1.0)
+            if schedule is None:
+                continue
+            levels = compute_levels(schedule)
+            for entry in schedule.entries:
+                t = inst.tasks[entry.task_index].canonical_time(1.0)
+                if t is not None and t > 0.5 + 1e-9 and levels[entry.task_index] > 1:
+                    # Such a violation would contradict the witness construction.
+                    pytest.fail("a long task was pushed above the first level")
+
+    def test_lemma1_outside_levels_small_sequential(self):
+        """Lemma 1: tasks outside the first two levels are sequential and short."""
+        for inst in property3_stress_instances(16, MU_STAR, trials=10, rng=9):
+            schedule = canonical_list_schedule(inst, 1.0)
+            if schedule is None:
+                continue
+            assert outside_levels_are_small_sequential(schedule, 1.0)
+
+    def test_first_two_level_completion_bounded_by_makespan(self, medium_instance):
+        guess = canonical_area_lower_bound(medium_instance) * 1.5
+        schedule = canonical_list_schedule(medium_instance, guess)
+        assert schedule is not None
+        assert first_two_level_completion(schedule) <= schedule.makespan() + 1e-9
+
+
+class TestCanonicalListDual:
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            CanonicalListDual(mu=0.4)
+        with pytest.raises(ValueError):
+            CanonicalListDual(mu=1.1)
+
+    def test_accepts_only_within_target(self, medium_instance):
+        dual = CanonicalListDual()
+        lb = canonical_area_lower_bound(medium_instance)
+        for factor in (1.0, 1.3, 2.0, 4.0):
+            schedule = dual.run(medium_instance, lb * factor)
+            if schedule is not None:
+                assert schedule.makespan() <= dual.rho * lb * factor + 1e-6
+
+    def test_rho_is_two_mu(self):
+        dual = CanonicalListDual(mu=0.9)
+        assert dual.rho == pytest.approx(1.8)
+
+
+class TestCanonicalListScheduler:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_and_reasonable(self, seed):
+        inst = mixed_instance(16, 16, seed=seed)
+        scheduler = CanonicalListScheduler()
+        schedule = scheduler.schedule(inst)
+        schedule.validate()
+        lb = best_lower_bound(inst)
+        # unconditional fallback keeps the ratio within 2 (plus search slack)
+        assert schedule.makespan() <= 2.01 * lb * (1 + 1e-3) or schedule.makespan() <= 2.01 * scheduler.last_result.best_guess
+
+    def test_theorem2_bound_when_hypotheses_hold(self):
+        """When W_m <= mu*m*d at the accepted guess, makespan <= 2*mu*d."""
+        inst = mixed_instance(25, 16, seed=42)
+        scheduler = CanonicalListScheduler(eps=1e-3)
+        schedule = scheduler.schedule(inst)
+        d = scheduler.last_result.best_guess
+        area = inst.mu_area(d)
+        if area is not None and area <= MU_STAR * inst.num_procs * d:
+            assert schedule.makespan() <= 2 * MU_STAR * d * (1 + 1e-6)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_algorithms(self):
+        assert set(ALGORITHMS) == {"mrt", "ludwig", "turek", "sequential", "gang"}
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--family", "uniform", "--tasks", "4", "--procs", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_procs"] == 4
+        assert len(payload["tasks"]) == 4
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        assert main(
+            ["generate", "--family", "mixed", "--tasks", "5", "--procs", "8", "--output", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["tasks"]) == 5
+
+    def test_generate_ocean(self, capsys):
+        assert main(["generate", "--family", "ocean", "--procs", "8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "ocean"
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("algorithm", ["mrt", "sequential", "gang"])
+    def test_schedule_generated_instance(self, capsys, algorithm):
+        code = main(
+            [
+                "schedule",
+                "--algorithm",
+                algorithm,
+                "--family",
+                "uniform",
+                "--tasks",
+                "6",
+                "--procs",
+                "4",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out and "ratio<=" in out
+
+    def test_schedule_from_file_with_gantt(self, tmp_path, capsys):
+        out = tmp_path / "inst.json"
+        main(["generate", "--family", "uniform", "--tasks", "4", "--procs", "4", "--output", str(out)])
+        capsys.readouterr()
+        code = main(["schedule", "--algorithm", "mrt", "--input", str(out), "--gantt"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "P  0 |" in text
+
+    def test_unknown_algorithm_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--algorithm", "nope"])
+
+
+class TestCompareAndMstar:
+    def test_compare_small(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--tasks",
+                "6",
+                "--procs",
+                "4",
+                "--repetitions",
+                "1",
+                "--families",
+                "uniform",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mrt-sqrt3" in out and "mean ratio" in out
+
+    def test_mstar(self, capsys):
+        assert main(["mstar", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "m*" in out
+        assert "anchor" in out

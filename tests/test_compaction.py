@@ -1,0 +1,72 @@
+"""Tests for schedule compaction (repro.core.compaction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, MalleableTask, MRTScheduler, Schedule, mixed_instance
+from repro.core.compaction import CompactedScheduler, compact_schedule
+from repro.core.partition import build_partition
+from repro.core.two_shelves import build_lambda_schedule, select_shelf2_subset
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.adversarial import shelf_overflow_instance
+
+
+class TestCompactSchedule:
+    def test_never_increases_makespan(self):
+        for seed in range(4):
+            inst = mixed_instance(15, 8, seed=seed)
+            schedule = MRTScheduler().schedule(inst)
+            compacted = compact_schedule(schedule)
+            compacted.validate()
+            assert compacted.makespan() <= schedule.makespan() + 1e-9
+
+    def test_preserves_allotments_and_blocks(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        compacted = compact_schedule(schedule)
+        for entry in schedule.entries:
+            new = compacted.entry_for(entry.task_index)
+            assert new.num_procs == entry.num_procs
+            assert new.first_proc == entry.first_proc
+            assert new.start <= entry.start + 1e-12
+
+    def test_removes_artificial_gap(self):
+        """A task floating above an idle block is pulled down to it."""
+        inst = Instance(
+            [MalleableTask.rigid("a", 1.0, 2), MalleableTask.rigid("b", 1.0, 2)], 2
+        )
+        schedule = Schedule(inst)
+        schedule.add(0, 0.0, 0, 1)
+        schedule.add(1, 5.0, 0, 1)  # gratuitous gap of 4 time units
+        compacted = compact_schedule(schedule)
+        assert compacted.entry_for(1).start == pytest.approx(1.0)
+        assert compacted.makespan() == pytest.approx(2.0)
+
+    def test_compacts_two_shelf_schedules(self):
+        """The idle wedge between the two shelves is (partially) recovered."""
+        inst = shelf_overflow_instance(24, seed=11)
+        d = canonical_area_lower_bound(inst) * 1.4
+        part = build_partition(inst, d)
+        assert part is not None
+        subset = select_shelf2_subset(part)
+        if subset is None:
+            pytest.skip("no λ-schedule at this guess")
+        schedule = build_lambda_schedule(part, subset)
+        compacted = compact_schedule(schedule)
+        assert compacted.makespan() <= schedule.makespan() + 1e-9
+
+    def test_partial_schedule_supported(self, small_instance):
+        partial = Schedule(small_instance)
+        partial.add(0, 3.0, 0, 1)
+        compacted = compact_schedule(partial)
+        assert compacted.entry_for(0).start == pytest.approx(0.0)
+
+
+class TestCompactedScheduler:
+    def test_wraps_and_improves_or_matches(self, small_instance):
+        base = MRTScheduler()
+        wrapped = CompactedScheduler(MRTScheduler())
+        assert wrapped.name.endswith("+compact")
+        raw = base.schedule(small_instance).makespan()
+        compacted = wrapped.schedule(small_instance).makespan()
+        assert compacted <= raw + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the dual-approximation search driver (repro.core.dual)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, MalleableTask, Schedule, SearchError
+from repro.core.dual import dual_search
+from repro.baselines.gang import GangScheduler
+
+
+class PerfectGangDual:
+    """Toy dual 1-approximation: accepts iff the gang schedule fits the guess."""
+
+    rho = 1.0
+
+    def __init__(self) -> None:
+        self.calls: list[float] = []
+
+    def run(self, instance: Instance, guess: float) -> Schedule | None:
+        self.calls.append(guess)
+        schedule = GangScheduler().schedule(instance)
+        if schedule.makespan() <= guess * self.rho + 1e-12:
+            return schedule
+        return None
+
+
+class AlwaysRejectDual:
+    rho = 1.0
+
+    def run(self, instance: Instance, guess: float) -> Schedule | None:
+        return None
+
+
+@pytest.fixture
+def gang_instance() -> Instance:
+    tasks = [MalleableTask.constant_work(f"t{i}", float(i + 1), 4) for i in range(4)]
+    return Instance(tasks, 4)
+
+
+class TestDualSearch:
+    def test_converges_to_dual_optimum(self, gang_instance):
+        """With a perfect dual, the search converges to the gang makespan."""
+        gang_makespan = GangScheduler().schedule(gang_instance).makespan()
+        result = dual_search(PerfectGangDual(), gang_instance, eps=1e-4)
+        assert result.schedule.makespan() == pytest.approx(gang_makespan)
+        assert result.best_guess <= gang_makespan * (1 + 1e-3)
+
+    def test_trace_is_recorded(self, gang_instance):
+        result = dual_search(PerfectGangDual(), gang_instance, eps=1e-3)
+        assert result.iterations == len(result.trace) > 0
+        assert any(o.accepted for o in result.trace)
+
+    def test_rejections_raise_search_error(self, gang_instance):
+        with pytest.raises(SearchError):
+            dual_search(AlwaysRejectDual(), gang_instance)
+
+    def test_invalid_eps(self, gang_instance):
+        with pytest.raises(ValueError):
+            dual_search(PerfectGangDual(), gang_instance, eps=0.0)
+
+    def test_respects_explicit_bounds(self, gang_instance):
+        gang_makespan = GangScheduler().schedule(gang_instance).makespan()
+        result = dual_search(
+            PerfectGangDual(),
+            gang_instance,
+            eps=1e-3,
+            lower_bound=gang_makespan / 4,
+            upper_bound=gang_makespan * 4,
+        )
+        assert result.lower_bound == pytest.approx(gang_makespan / 4)
+        assert result.schedule.makespan() == pytest.approx(gang_makespan)
+
+    def test_accepting_lower_bound_short_circuits(self, gang_instance):
+        """If the lower bound itself is accepted the search stops immediately."""
+        gang_makespan = GangScheduler().schedule(gang_instance).makespan()
+        dual = PerfectGangDual()
+        result = dual_search(
+            dual, gang_instance, eps=1e-3, lower_bound=gang_makespan * 2
+        )
+        assert result.schedule.makespan() == pytest.approx(gang_makespan)
+        # upper bound accepted + lower bound accepted: exactly two probes
+        assert len(dual.calls) == 2
+
+    def test_grows_upper_bound_when_needed(self, gang_instance):
+        """A too-small explicit upper bound is grown until accepted."""
+        result = dual_search(
+            PerfectGangDual(), gang_instance, eps=1e-3, upper_bound=1e-3
+        )
+        gang_makespan = GangScheduler().schedule(gang_instance).makespan()
+        assert result.schedule.makespan() == pytest.approx(gang_makespan)

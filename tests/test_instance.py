@@ -1,0 +1,163 @@
+"""Unit tests for Instance (repro.model.instance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, MalleableTask, ModelError
+
+
+def make_tasks(m: int = 4) -> list[MalleableTask]:
+    return [
+        MalleableTask.monotonic_envelope("a", np.linspace(8.0, 3.5, m)),
+        MalleableTask.monotonic_envelope("b", np.linspace(4.0, 2.0, m)),
+        MalleableTask.monotonic_envelope("c", np.linspace(2.0, 1.5, m)),
+    ]
+
+
+class TestConstruction:
+    def test_basic(self):
+        inst = Instance(make_tasks(), 4, name="x")
+        assert inst.num_tasks == 3
+        assert inst.num_procs == 4
+        assert inst.name == "x"
+        assert len(inst) == 3
+
+    def test_iteration_and_indexing(self):
+        inst = Instance(make_tasks(), 4)
+        assert [t.name for t in inst] == ["a", "b", "c"]
+        assert inst[1].name == "b"
+        assert inst.task_index("c") == 2
+        with pytest.raises(KeyError):
+            inst.task_index("zzz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Instance([], 4)
+
+    def test_invalid_machine(self):
+        with pytest.raises(ModelError):
+            Instance(make_tasks(), 0)
+
+    def test_task_profile_too_short_rejected(self):
+        with pytest.raises(ModelError):
+            Instance(make_tasks(2), 4)
+
+    def test_profiles_truncated_to_machine(self):
+        inst = Instance(make_tasks(8), 4)
+        assert all(t.max_procs == 4 for t in inst.tasks)
+
+    def test_non_task_rejected(self):
+        with pytest.raises(ModelError):
+            Instance(["not a task"], 4)  # type: ignore[list-item]
+
+    def test_from_profiles(self):
+        arr = [[4.0, 2.5], [2.0, 1.5]]
+        inst = Instance.from_profiles(arr)
+        assert inst.num_tasks == 2 and inst.num_procs == 2
+
+    def test_from_profiles_requires_2d(self):
+        with pytest.raises(ModelError):
+            Instance.from_profiles([1.0, 2.0])
+
+
+class TestAggregates:
+    def test_total_sequential_work(self):
+        inst = Instance(make_tasks(), 4)
+        assert inst.total_sequential_work() == pytest.approx(8.0 + 4.0 + 2.0)
+
+    def test_max_min_time(self):
+        inst = Instance(make_tasks(), 4)
+        assert inst.max_min_time() == pytest.approx(3.75)
+
+    def test_max_sequential_time(self):
+        inst = Instance(make_tasks(), 4)
+        assert inst.max_sequential_time() == pytest.approx(8.0)
+
+    def test_lower_and_upper_bound_relation(self, medium_instance):
+        assert medium_instance.lower_bound() <= medium_instance.upper_bound() + 1e-9
+
+    def test_lower_bound_formula(self):
+        inst = Instance(make_tasks(), 4)
+        expected = max(14.0 / 4, 3.75)
+        assert inst.lower_bound() == pytest.approx(expected)
+
+
+class TestCanonicalQuantities:
+    def test_canonical_procs_vector(self):
+        inst = Instance(make_tasks(), 4)
+        gammas = inst.canonical_procs(4.0)
+        assert gammas[1] == 1 and gammas[2] == 1
+        assert gammas[0] is not None and gammas[0] >= 2
+
+    def test_canonical_work_none_when_unreachable(self):
+        inst = Instance(make_tasks(), 4)
+        assert inst.canonical_work(0.5) is None
+
+    def test_canonical_work_at_large_deadline_is_sequential(self):
+        inst = Instance(make_tasks(), 4)
+        big = inst.max_sequential_time()
+        assert inst.canonical_work(big) == pytest.approx(inst.total_sequential_work())
+
+    def test_canonical_work_monotone_in_deadline(self, medium_instance):
+        """Smaller deadlines force larger allotments hence more work."""
+        d_small = medium_instance.lower_bound()
+        d_large = medium_instance.upper_bound()
+        w_small = medium_instance.canonical_work(d_small)
+        w_large = medium_instance.canonical_work(d_large)
+        if w_small is not None:
+            assert w_small >= w_large - 1e-9
+
+    def test_mu_area_definition_simple(self):
+        """Hand-check Definition 1 on a two-task instance."""
+        tasks = [MalleableTask.rigid("x", 1.0, 2), MalleableTask.rigid("y", 0.5, 2)]
+        inst = Instance(tasks, 2)
+        # canonical allotment at d=1: both sequential; sorted times [1.0, 0.5];
+        # first m=2 processors take both tasks fully: W_m = 1.5
+        assert inst.mu_area(1.0) == pytest.approx(1.5)
+
+    def test_mu_area_truncates_at_m(self):
+        tasks = [MalleableTask.rigid(f"t{i}", 1.0, 2) for i in range(5)]
+        inst = Instance(tasks, 2)
+        # each task is sequential with time 1; the first 2 processors see area 2
+        assert inst.mu_area(1.0) == pytest.approx(2.0)
+
+    def test_mu_area_none_when_infeasible(self):
+        inst = Instance(make_tasks(), 4)
+        assert inst.mu_area(0.1) is None
+
+    def test_mu_area_at_most_canonical_work(self, medium_instance):
+        d = medium_instance.upper_bound()
+        assert medium_instance.mu_area(d) <= medium_instance.canonical_work(d) + 1e-9
+
+    def test_mu_area_at_most_m_times_deadline_when_feasible(self, medium_instance):
+        """W_m cannot exceed the full m×d rectangle when Property 2 holds."""
+        d = medium_instance.upper_bound()
+        area = medium_instance.mu_area(d)
+        assert area <= medium_instance.num_procs * d + 1e-9
+
+
+class TestTransformations:
+    def test_scaled(self):
+        inst = Instance(make_tasks(), 4)
+        scaled = inst.scaled(3.0)
+        assert scaled.total_sequential_work() == pytest.approx(3 * 14.0)
+
+    def test_subset(self):
+        inst = Instance(make_tasks(), 4)
+        sub = inst.subset([0, 2])
+        assert sub.num_tasks == 2
+        assert sub[1].name == "c"
+
+    def test_with_machine(self):
+        inst = Instance(make_tasks(8), 8)
+        smaller = inst.with_machine(4)
+        assert smaller.num_procs == 4
+
+    def test_json_round_trip(self, small_instance):
+        clone = Instance.from_json(small_instance.to_json())
+        assert clone.num_tasks == small_instance.num_tasks
+        assert clone.num_procs == small_instance.num_procs
+        for a, b in zip(clone.tasks, small_instance.tasks):
+            assert np.allclose(a.times, b.times)

@@ -1,0 +1,106 @@
+"""Cross-module integration tests: algorithms → schedules → simulator → metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    GangScheduler,
+    LudwigScheduler,
+    MRTScheduler,
+    SequentialLPTScheduler,
+    TurekScheduler,
+    best_lower_bound,
+    evaluate_schedule,
+    gantt_chart,
+    mixed_instance,
+    ocean_instance,
+    simulate_and_check,
+)
+from repro.analysis.experiments import run_comparison
+from repro.core.canonical_list import CanonicalListScheduler
+from repro.core.malleable_list import MalleableListScheduler
+from repro.workloads import (
+    heavy_tailed_instance,
+    rigid_heavy_instance,
+    shelf_overflow_instance,
+)
+
+SQRT3 = math.sqrt(3.0)
+
+ALL_SCHEDULERS = [
+    MRTScheduler(),
+    MalleableListScheduler(),
+    CanonicalListScheduler(),
+    TurekScheduler(max_candidates=64),
+    LudwigScheduler(),
+    SequentialLPTScheduler(),
+    GangScheduler(),
+]
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name)
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: mixed_instance(18, 12, seed=0),
+        lambda: heavy_tailed_instance(15, 16, seed=1),
+        lambda: rigid_heavy_instance(15, 8, seed=2),
+        lambda: ocean_instance(16, blocks=4, seed=3),
+    ],
+    ids=["mixed", "heavy", "rigid", "ocean"],
+)
+def test_end_to_end_schedule_simulate_evaluate(scheduler, factory):
+    """Every scheduler × workload: schedule, simulate, evaluate, render."""
+    instance = factory()
+    schedule = scheduler.schedule(instance)
+    schedule.validate()
+    assert schedule.is_complete()
+    result = simulate_and_check(schedule)
+    metrics = evaluate_schedule(schedule)
+    assert metrics.makespan == pytest.approx(result.makespan)
+    assert metrics.ratio >= 1.0 - 1e-9
+    chart = gantt_chart(schedule)
+    assert "makespan=" in chart
+
+
+def test_mrt_dominates_naive_baselines_on_average():
+    """EXP-A sanity: the √3 algorithm beats gang and sequential on mixed workloads."""
+    instances = [mixed_instance(25, 16, seed=s) for s in range(3)]
+    comparison = run_comparison(
+        instances, [MRTScheduler(), GangScheduler(), SequentialLPTScheduler()]
+    )
+    mean = {a: comparison.ratios(a).mean() for a in comparison.algorithms()}
+    assert mean["mrt-sqrt3"] <= mean["gang"] + 1e-9
+    assert mean["mrt-sqrt3"] <= mean["sequential-lpt"] + 1e-9
+
+
+def test_mrt_never_worse_than_sqrt3_anywhere():
+    """The guarantee holds across every workload family exercised here."""
+    factories = [
+        lambda s: mixed_instance(20, 16, seed=s),
+        lambda s: heavy_tailed_instance(20, 16, seed=s),
+        lambda s: rigid_heavy_instance(20, 16, seed=s),
+        lambda s: shelf_overflow_instance(16, seed=s),
+    ]
+    for factory in factories:
+        for seed in range(2):
+            instance = factory(seed)
+            schedule = MRTScheduler().schedule(instance)
+            assert schedule.makespan() <= SQRT3 * best_lower_bound(instance) * 1.01
+
+
+def test_mrt_beats_or_matches_two_phase_baselines_in_the_worst_case():
+    """The paper's claim: √3 < 2 — the maximum ratio of MRT stays below the
+    two-phase baselines' maximum on a common workload battery."""
+    instances = [mixed_instance(20, 16, seed=s) for s in range(4)] + [
+        heavy_tailed_instance(20, 16, seed=s) for s in range(4)
+    ]
+    comparison = run_comparison(
+        instances, [MRTScheduler(), LudwigScheduler(), TurekScheduler(max_candidates=64)]
+    )
+    worst = {a: comparison.ratios(a).max() for a in comparison.algorithms()}
+    assert worst["mrt-sqrt3"] <= max(worst["ludwig-ffdh"], worst["turek-ffdh"]) + 1e-9
+    assert worst["mrt-sqrt3"] <= SQRT3 * 1.01

@@ -1,0 +1,136 @@
+"""Tests for the knapsack solvers (repro.core.knapsack)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import (
+    KnapsackItem,
+    knapsack_fptas,
+    knapsack_max_profit,
+    knapsack_min_weight,
+)
+from repro.exceptions import ModelError
+
+
+def brute_force_max(items, capacity):
+    best = 0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            w = sum(i.weight for i in combo)
+            p = sum(i.profit for i in combo)
+            if w <= capacity:
+                best = max(best, p)
+    return best
+
+
+def brute_force_min_weight(items, target):
+    best = None
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            w = sum(i.weight for i in combo)
+            p = sum(i.profit for i in combo)
+            if p >= target and (best is None or w < best):
+                best = w
+    return best
+
+
+def random_items(rng, n, max_w=12, max_p=15):
+    return [
+        KnapsackItem(key=i, weight=int(rng.integers(1, max_w)), profit=int(rng.integers(0, max_p)))
+        for i in range(n)
+    ]
+
+
+class TestExactKnapsack:
+    def test_simple_case(self):
+        items = [
+            KnapsackItem(0, weight=3, profit=4),
+            KnapsackItem(1, weight=4, profit=5),
+            KnapsackItem(2, weight=2, profit=3),
+        ]
+        sol = knapsack_max_profit(items, 6)
+        assert sol.profit == 8
+        assert set(sol.keys) == {1, 2} or set(sol.keys) == {0, 2}
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem(0, 1, 5)]
+        assert knapsack_max_profit(items, 0).profit == 0
+
+    def test_negative_capacity(self):
+        assert knapsack_max_profit([KnapsackItem(0, 1, 1)], -3).profit == 0
+
+    def test_empty_items(self):
+        assert knapsack_max_profit([], 10).profit == 0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ModelError):
+            knapsack_max_profit([KnapsackItem(0, -1, 1)], 5)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        items = random_items(rng, 9)
+        capacity = int(rng.integers(5, 40))
+        sol = knapsack_max_profit(items, capacity)
+        assert sol.profit == brute_force_max(items, capacity)
+        assert sol.weight <= capacity
+        # selected keys reproduce the reported totals
+        selected = [i for i in items if i.key in set(sol.keys)]
+        assert sum(i.profit for i in selected) == sol.profit
+        assert sum(i.weight for i in selected) == sol.weight
+
+
+class TestDualKnapsack:
+    def test_zero_target(self):
+        sol = knapsack_min_weight([KnapsackItem(0, 5, 5)], 0)
+        assert sol is not None and sol.weight == 0
+
+    def test_unreachable_target(self):
+        assert knapsack_min_weight([KnapsackItem(0, 1, 2)], 5) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        items = random_items(rng, 8)
+        total_profit = sum(i.profit for i in items)
+        target = int(rng.integers(1, max(2, total_profit)))
+        sol = knapsack_min_weight(items, target)
+        expected = brute_force_min_weight(items, target)
+        if expected is None:
+            assert sol is None
+        else:
+            assert sol is not None
+            assert sol.weight == expected
+            assert sol.profit >= target
+
+
+class TestFPTAS:
+    def test_invalid_eps(self):
+        with pytest.raises(ModelError):
+            knapsack_fptas([KnapsackItem(0, 1, 1)], 5, eps=0.0)
+        with pytest.raises(ModelError):
+            knapsack_fptas([KnapsackItem(0, 1, 1)], 5, eps=1.0)
+
+    def test_discards_oversized_items(self):
+        items = [KnapsackItem(0, 100, 100), KnapsackItem(1, 1, 1)]
+        sol = knapsack_fptas(items, 5, eps=0.2)
+        assert sol.profit == 1
+
+    def test_all_zero_profit(self):
+        items = [KnapsackItem(0, 1, 0), KnapsackItem(1, 2, 0)]
+        assert knapsack_fptas(items, 5, eps=0.5).profit == 0
+
+    @pytest.mark.parametrize("eps", [0.1, 0.3, 0.5])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_approximation_guarantee(self, eps, seed):
+        rng = np.random.default_rng(200 + seed)
+        items = random_items(rng, 10, max_w=8, max_p=50)
+        capacity = int(rng.integers(5, 30))
+        opt = brute_force_max(items, capacity)
+        sol = knapsack_fptas(items, capacity, eps=eps)
+        assert sol.weight <= capacity
+        assert sol.profit >= (1 - eps) * opt - 1e-9

@@ -1,0 +1,143 @@
+"""Tests for the contiguous list-scheduling machinery (repro.core.list_scheduling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Allotment, Instance, MalleableTask
+from repro.core.list_scheduling import (
+    compute_levels,
+    contiguous_list_schedule,
+    sliding_window_max,
+)
+from repro.exceptions import SchedulingError
+
+
+class TestSlidingWindowMax:
+    def test_window_one_is_identity(self, rng):
+        values = rng.normal(size=20)
+        assert np.allclose(sliding_window_max(values, 1), values)
+
+    def test_window_full_is_global_max(self, rng):
+        values = rng.normal(size=20)
+        assert sliding_window_max(values, 20)[0] == pytest.approx(values.max())
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 7])
+    def test_matches_naive(self, rng, width):
+        values = rng.normal(size=30)
+        fast = sliding_window_max(values, width)
+        naive = np.array(
+            [values[s : s + width].max() for s in range(values.size - width + 1)]
+        )
+        assert np.allclose(fast, naive)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sliding_window_max(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            sliding_window_max(np.zeros(3), 4)
+
+
+@pytest.fixture
+def rigid_instance() -> Instance:
+    tasks = [
+        MalleableTask.rigid("w4", 2.0, 8),
+        MalleableTask.rigid("w3", 1.5, 8),
+        MalleableTask.rigid("w2", 1.0, 8),
+        MalleableTask.rigid("s1", 0.8, 8),
+        MalleableTask.rigid("s2", 0.6, 8),
+    ]
+    return Instance(tasks, 8)
+
+
+def widths_allotment(inst: Instance, widths: list[int]) -> Allotment:
+    return Allotment(inst, widths)
+
+
+class TestContiguousListSchedule:
+    def test_produces_valid_schedule(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, range(5))
+        sched.validate()
+        assert sched.is_complete()
+
+    def test_first_tasks_start_at_zero_leftmost(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, range(5))
+        e0 = sched.entry_for(0)
+        e1 = sched.entry_for(1)
+        assert e0.start == 0.0 and e0.first_proc == 0
+        assert e1.start == 0.0 and e1.first_proc == 4
+
+    def test_second_level_task_rests_on_support(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, range(5))
+        # width-2 task cannot fit next to 4+3 at time 0 (only 1 processor left)
+        e2 = sched.entry_for(2)
+        assert e2.start > 0.0
+        supports = [
+            e
+            for e in sched.entries
+            if e.end == pytest.approx(e2.start)
+            and max(e.first_proc, e2.first_proc)
+            < min(e.first_proc + e.num_procs, e2.first_proc + e2.num_procs)
+        ]
+        assert supports, "a second-level task must rest on an earlier task"
+
+    def test_order_subset_schedules_partially(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, [0, 1])
+        assert len(sched) == 2
+        sched.validate(require_complete=False)
+
+    def test_duplicate_order_rejected(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        with pytest.raises(SchedulingError):
+            contiguous_list_schedule(allot, [0, 0, 1])
+
+    def test_start_offset(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, range(5), start_offset=5.0)
+        assert min(e.start for e in sched.entries) == pytest.approx(5.0)
+
+    def test_initial_avail_profile(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [1, 1, 1, 1, 1])
+        avail = np.array([0.0, 0.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0])
+        sched = contiguous_list_schedule(allot, range(5), initial_avail=avail)
+        # the two free processors get the first two tasks at time 0
+        starts = sorted(e.start for e in sched.entries)
+        assert starts[0] == 0.0 and starts[1] == 0.0
+
+    def test_initial_avail_wrong_shape(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [1, 1, 1, 1, 1])
+        with pytest.raises(SchedulingError):
+            contiguous_list_schedule(allot, range(5), initial_avail=np.zeros(3))
+
+    def test_makespan_at_least_area_bound(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, range(5))
+        assert sched.makespan() >= allot.area_bound() - 1e-9
+
+
+class TestComputeLevels:
+    def test_levels_of_simple_stack(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [8, 8, 8, 8, 8])
+        sched = contiguous_list_schedule(allot, range(5))
+        levels = compute_levels(sched)
+        assert sorted(levels.values()) == [1, 2, 3, 4, 5]
+
+    def test_first_level_is_start_zero(self, rigid_instance):
+        allot = widths_allotment(rigid_instance, [4, 3, 2, 1, 1])
+        sched = contiguous_list_schedule(allot, range(5))
+        levels = compute_levels(sched)
+        for entry in sched.entries:
+            if entry.start == 0.0:
+                assert levels[entry.task_index] == 1
+            else:
+                assert levels[entry.task_index] >= 2
+
+    def test_empty_schedule(self, rigid_instance):
+        from repro.model.schedule import Schedule
+
+        assert compute_levels(Schedule(rigid_instance)) == {}

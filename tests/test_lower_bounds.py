@@ -1,0 +1,87 @@
+"""Tests for the makespan lower bounds (repro.lower_bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GangScheduler,
+    Instance,
+    MalleableTask,
+    MRTScheduler,
+    SequentialLPTScheduler,
+    best_lower_bound,
+    canonical_area_lower_bound,
+    mixed_instance,
+    squashed_area_lower_bound,
+    trivial_lower_bound,
+)
+from repro.baselines.optimal import optimal_schedule
+
+
+class TestTrivialBound:
+    def test_single_perfect_task(self):
+        inst = Instance([MalleableTask.constant_work("t", 8.0, 4)], 4)
+        assert trivial_lower_bound(inst) == pytest.approx(2.0)
+
+    def test_rigid_task_dominates(self):
+        inst = Instance(
+            [MalleableTask.rigid("big", 5.0, 4), MalleableTask.rigid("small", 1.0, 4)],
+            4,
+        )
+        assert trivial_lower_bound(inst) == pytest.approx(5.0)
+
+
+class TestCanonicalAreaBound:
+    def test_dominates_trivial(self, medium_instance):
+        assert canonical_area_lower_bound(medium_instance) >= trivial_lower_bound(
+            medium_instance
+        ) - 1e-9
+
+    def test_equals_trivial_when_trivial_feasible(self):
+        inst = Instance([MalleableTask.rigid("t", 3.0, 2)], 2)
+        assert canonical_area_lower_bound(inst) == pytest.approx(3.0)
+
+    def test_tighter_on_parallel_overhead(self):
+        """When parallelising is costly the Property-2 bound exceeds the area bound."""
+        # Two tasks of sequential time 2 on m=2: area bound = 2, max t_i(m) = 1.5.
+        # But to finish by 2 both can run sequentially: bound stays 2. Make the
+        # deadline force parallelism: three tasks, m=2.
+        tasks = [MalleableTask("t%d" % i, [2.0, 1.5]) for i in range(3)]
+        inst = Instance(tasks, 2)
+        trivial = trivial_lower_bound(inst)  # area = 3
+        tight = canonical_area_lower_bound(inst)
+        assert tight >= trivial - 1e-9
+
+    def test_is_a_true_lower_bound_small_instances(self):
+        """The bound never exceeds the exact optimum."""
+        for seed in range(4):
+            inst = mixed_instance(5, 4, seed=seed)
+            opt = optimal_schedule(inst).makespan()
+            assert canonical_area_lower_bound(inst) <= opt + 1e-6
+
+
+class TestSquashedBound:
+    def test_at_least_min_time(self, medium_instance):
+        assert squashed_area_lower_bound(medium_instance) >= medium_instance.max_min_time() - 1e-9
+
+    def test_is_lower_bound_small_instances(self):
+        for seed in range(3):
+            inst = mixed_instance(5, 4, seed=100 + seed)
+            opt = optimal_schedule(inst).makespan()
+            assert squashed_area_lower_bound(inst) <= opt + 1e-6
+
+
+class TestBestBound:
+    def test_best_is_max_of_all(self, small_instance):
+        best = best_lower_bound(small_instance)
+        assert best >= trivial_lower_bound(small_instance) - 1e-12
+        assert best >= canonical_area_lower_bound(small_instance) - 1e-9
+        assert best >= squashed_area_lower_bound(small_instance) - 1e-12
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_scheduler_beats_the_bound(self, seed):
+        inst = mixed_instance(15, 8, seed=seed)
+        lb = best_lower_bound(inst)
+        for scheduler in (MRTScheduler(), SequentialLPTScheduler(), GangScheduler()):
+            assert scheduler.schedule(inst).makespan() >= lb - 1e-6

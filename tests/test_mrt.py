@@ -1,0 +1,147 @@
+"""Tests for the complete √3 scheduler (repro.core.mrt)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    MRTScheduler,
+    best_lower_bound,
+    heavy_tailed_instance,
+    mixed_instance,
+    rigid_heavy_instance,
+    uniform_instance,
+)
+from repro.core.mrt import MRTDual
+from repro.baselines.optimal import optimal_schedule
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.adversarial import (
+    fragmentation_instance,
+    lpt_worst_case_instance,
+    shelf_overflow_instance,
+)
+
+SQRT3 = math.sqrt(3.0)
+
+
+class TestMRTDual:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MRTDual(lam=0.3)
+        with pytest.raises(ValueError):
+            MRTDual(mu=1.2)
+
+    def test_rho_is_sqrt3_for_defaults(self):
+        assert MRTDual().rho == pytest.approx(SQRT3)
+
+    def test_rejects_impossible_guess(self, medium_instance):
+        dual = MRTDual()
+        assert dual.run(medium_instance, 1e-9) is None
+        assert dual.last_branch is None
+
+    def test_accepts_generous_guess(self, medium_instance):
+        dual = MRTDual()
+        schedule = dual.run(medium_instance, medium_instance.upper_bound())
+        assert schedule is not None
+        assert dual.last_branch == schedule.algorithm
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_accepted_schedule_within_sqrt3_of_guess(self, seed):
+        inst = mixed_instance(18, 16, seed=seed)
+        dual = MRTDual()
+        lb = canonical_area_lower_bound(inst)
+        for factor in (1.0, 1.1, 1.4, 2.0, 4.0):
+            schedule = dual.run(inst, lb * factor)
+            if schedule is not None:
+                schedule.validate()
+                assert schedule.makespan() <= SQRT3 * lb * factor * (1 + 1e-9) + 1e-9
+
+    def test_mu_area_recorded(self, medium_instance):
+        dual = MRTDual()
+        dual.run(medium_instance, medium_instance.upper_bound())
+        assert dual.last_mu_area is not None
+
+    @pytest.mark.parametrize("method", ["exact", "dual", "fptas"])
+    def test_knapsack_method_variants_agree_on_acceptance(self, method):
+        inst = shelf_overflow_instance(16, seed=5)
+        lb = canonical_area_lower_bound(inst)
+        baseline = MRTDual().run(inst, lb * 1.3) is not None
+        variant = MRTDual(knapsack_method=method).run(inst, lb * 1.3) is not None
+        # the FPTAS may be slightly weaker but never stronger than exact on
+        # acceptance; all three must accept generous guesses
+        if baseline:
+            assert MRTDual(knapsack_method=method).run(inst, lb * 2.5) is not None
+        assert isinstance(variant, bool)
+
+
+class TestMRTScheduler:
+    WORKLOADS = [
+        ("uniform", lambda seed: uniform_instance(20, 16, seed=seed)),
+        ("mixed", lambda seed: mixed_instance(20, 16, seed=seed)),
+        ("heavy", lambda seed: heavy_tailed_instance(20, 16, seed=seed)),
+        ("rigid", lambda seed: rigid_heavy_instance(20, 16, seed=seed)),
+    ]
+
+    @pytest.mark.parametrize("name,factory", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ratio_to_lower_bound_below_sqrt3(self, name, factory, seed):
+        """The headline claim: makespan within √3 of the (lower bound on the) optimum."""
+        inst = factory(seed)
+        scheduler = MRTScheduler(eps=1e-3)
+        schedule = scheduler.schedule(inst)
+        schedule.validate()
+        lb = best_lower_bound(inst)
+        assert schedule.makespan() <= SQRT3 * lb * (1 + 5e-3)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_within_sqrt3_of_exact_optimum_small(self, seed):
+        inst = mixed_instance(5, 4, seed=seed)
+        mrt = MRTScheduler().schedule(inst)
+        opt = optimal_schedule(inst)
+        assert mrt.makespan() <= SQRT3 * opt.makespan() * (1 + 1e-6)
+
+    def test_result_metadata(self, medium_instance):
+        scheduler = MRTScheduler()
+        schedule = scheduler.schedule(medium_instance)
+        result = scheduler.last_result
+        assert result is not None
+        assert result.schedule is schedule
+        assert result.lower_bound > 0
+        assert result.ratio_to_lower_bound >= 1.0 - 1e-9
+        assert result.branch
+        assert result.search.iterations > 0
+
+    def test_adversarial_instances(self):
+        for inst in (
+            fragmentation_instance(16),
+            lpt_worst_case_instance(8),
+            shelf_overflow_instance(16, seed=2),
+        ):
+            scheduler = MRTScheduler()
+            schedule = scheduler.schedule(inst)
+            schedule.validate()
+            assert schedule.makespan() <= SQRT3 * best_lower_bound(inst) * (1 + 5e-3)
+
+    def test_single_task_instance(self):
+        from repro import Instance, MalleableTask
+
+        inst = Instance([MalleableTask.constant_work("only", 10.0, 8)], 8)
+        schedule = MRTScheduler().schedule(inst)
+        # a single perfectly parallel task should be run close to full width
+        assert schedule.makespan() <= 10.0 / 8 * SQRT3 + 1e-9
+
+    def test_small_machine_uses_list_guarantee(self):
+        """On m <= 6 the malleable list bound is below √3 already."""
+        inst = mixed_instance(10, 4, seed=1)
+        scheduler = MRTScheduler()
+        schedule = scheduler.schedule(inst)
+        lb = best_lower_bound(inst)
+        assert schedule.makespan() <= SQRT3 * lb * (1 + 5e-3)
+
+    def test_deterministic_given_seeded_instance(self):
+        inst = mixed_instance(15, 8, seed=9)
+        a = MRTScheduler().schedule(inst).makespan()
+        b = MRTScheduler().schedule(inst).makespan()
+        assert a == pytest.approx(b)

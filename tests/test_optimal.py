@@ -1,0 +1,71 @@
+"""Tests for the exact branch-and-bound optimum (repro.baselines.optimal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, MalleableTask, ModelError, mixed_instance
+from repro.baselines.optimal import BranchAndBoundOptimal, optimal_makespan, optimal_schedule
+from repro.lower_bounds import best_lower_bound
+
+
+class TestGuards:
+    def test_too_many_tasks_rejected(self):
+        inst = mixed_instance(12, 4, seed=0)
+        with pytest.raises(ModelError):
+            optimal_schedule(inst)
+
+    def test_too_many_procs_rejected(self):
+        inst = mixed_instance(4, 32, seed=0)
+        with pytest.raises(ModelError):
+            optimal_schedule(inst)
+
+
+class TestExactness:
+    def test_single_task(self):
+        inst = Instance([MalleableTask.constant_work("t", 8.0, 4)], 4)
+        assert optimal_makespan(inst) == pytest.approx(2.0)
+
+    def test_two_identical_rigid_tasks(self):
+        inst = Instance([MalleableTask.rigid("a", 3.0, 2), MalleableTask.rigid("b", 3.0, 2)], 2)
+        assert optimal_makespan(inst) == pytest.approx(3.0)
+
+    def test_stacking_beats_side_by_side_when_needed(self):
+        """Three unit tasks on two processors: the optimum is 2, not 3."""
+        inst = Instance([MalleableTask.rigid(f"t{i}", 1.0, 2) for i in range(3)], 2)
+        assert optimal_makespan(inst) == pytest.approx(2.0)
+
+    def test_malleable_tradeoff(self):
+        """Hand-computable instance where parallelising one task is optimal.
+
+        Task A: t(1)=4, t(2)=2.4; Task B: t(1)=2, t(2)=1.6 on m=2.
+        Candidates: both sequential -> max(4, 2) = 4;
+        A on 2 procs then B sequential -> 2.4 + 2 = 4.4;  B after A on 1 proc -> 4;
+        A parallel, B parallel stacked -> 2.4 + 1.6 = 4.0;
+        best is 4.0.
+        """
+        inst = Instance(
+            [MalleableTask("A", [4.0, 2.4]), MalleableTask("B", [2.0, 1.6])], 2
+        )
+        assert optimal_makespan(inst) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_below_lower_bound(self, seed):
+        inst = mixed_instance(5, 4, seed=seed)
+        opt = optimal_makespan(inst)
+        assert opt >= best_lower_bound(inst) - 1e-6
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_above_any_heuristic(self, seed):
+        from repro import GangScheduler, MRTScheduler, SequentialLPTScheduler
+
+        inst = mixed_instance(5, 4, seed=100 + seed)
+        opt = optimal_makespan(inst)
+        for scheduler in (MRTScheduler(), SequentialLPTScheduler(), GangScheduler()):
+            assert opt <= scheduler.schedule(inst).makespan() + 1e-6
+
+    def test_scheduler_wrapper(self):
+        inst = mixed_instance(4, 4, seed=3)
+        schedule = BranchAndBoundOptimal().schedule(inst)
+        schedule.validate()
+        assert schedule.is_complete()

@@ -1,0 +1,124 @@
+"""Tests for the T1/T2/T3 canonical partition (repro.core.partition)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Instance, MalleableTask, mixed_instance
+from repro.core.partition import (
+    LAMBDA_STAR,
+    build_partition,
+    inefficiency_factor,
+)
+from repro.exceptions import ModelError
+from repro.lower_bounds import canonical_area_lower_bound
+
+
+class TestLambdaStar:
+    def test_value(self):
+        assert LAMBDA_STAR == pytest.approx(math.sqrt(3) - 1)
+        assert 0.5 < LAMBDA_STAR <= 1.0
+
+
+class TestInefficiencyFactor:
+    def test_at_least_one_for_monotonic_tasks(self, medium_instance):
+        d = medium_instance.upper_bound() / 4
+        for task in medium_instance.tasks:
+            gamma = task.canonical_procs(d)
+            if gamma is None:
+                continue
+            for q in range(gamma, medium_instance.num_procs + 1):
+                assert (
+                    inefficiency_factor(task.work(q), task.work(gamma)) >= 1.0 - 1e-9
+                )
+
+    def test_invalid_canonical_work(self):
+        with pytest.raises(ModelError):
+            inefficiency_factor(1.0, 0.0)
+
+
+class TestBuildPartition:
+    def test_none_on_infeasible_guess(self, medium_instance):
+        assert build_partition(medium_instance, 1e-9) is None
+
+    def test_invalid_lambda(self, medium_instance):
+        with pytest.raises(ModelError):
+            build_partition(medium_instance, 1.0, lam=0.3)
+
+    def test_partition_covers_all_tasks_exactly_once(self, medium_instance):
+        d = canonical_area_lower_bound(medium_instance) * 1.1
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        all_indices = sorted(part.t1 + part.t2 + part.t3)
+        assert all_indices == list(range(medium_instance.num_tasks))
+
+    def test_classification_thresholds(self, medium_instance):
+        d = canonical_area_lower_bound(medium_instance) * 1.1
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        for i in part.t1:
+            assert part.alloc.times[i] > LAMBDA_STAR * d - 1e-9
+        for i in part.t2:
+            assert d / 2 - 1e-9 < part.alloc.times[i] <= LAMBDA_STAR * d + 1e-9
+        for i in part.t3:
+            assert part.alloc.times[i] <= d / 2 + 1e-9
+
+    def test_t3_tasks_are_sequential(self, medium_instance):
+        """Property 1 corollary: canonical time <= d/2 implies gamma = 1."""
+        d = canonical_area_lower_bound(medium_instance) * 1.2
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        for i in part.t3:
+            assert part.alloc.procs[i] == 1
+
+    def test_q_values_consistent(self, medium_instance):
+        d = canonical_area_lower_bound(medium_instance) * 1.1
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        assert part.q1 == sum(part.alloc.procs[i] for i in part.t1)
+        assert part.q2 == sum(part.alloc.procs[i] for i in part.t2)
+        if part.t3:
+            assert part.q3 == part.small_packing.num_bins
+            assert part.q3 >= 1
+        else:
+            assert part.q3 == 0
+        assert part.free_shelf2 == medium_instance.num_procs - part.q2 - part.q3
+
+    def test_shelf2_procs_exceed_gamma_for_t1(self, medium_instance):
+        """T1 tasks need strictly more processors to enter the second shelf."""
+        d = canonical_area_lower_bound(medium_instance) * 1.05
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        for i in part.t1:
+            d_i = part.shelf2_procs[i]
+            if d_i is not None:
+                assert d_i >= part.alloc.procs[i]
+
+    def test_canonical_areas_sum_to_total(self, medium_instance):
+        d = canonical_area_lower_bound(medium_instance) * 1.1
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        total = part.area_t1 + part.area_t2 + part.area_t3
+        assert total == pytest.approx(part.alloc.total_work)
+
+    def test_required_gamma(self):
+        """required_gamma is the overflow of the first shelf."""
+        # three tall tasks of canonical width 2 on m=4: q1=6, required = 2
+        tasks = [MalleableTask(f"t{i}", [1.8, 0.9, 0.7, 0.6]) for i in range(3)]
+        inst = Instance(tasks, 4)
+        part = build_partition(inst, 1.0)
+        assert part is not None
+        assert part.q1 == 6
+        assert part.required_gamma() == 2
+
+    def test_knapsack_items_exclude_pinned(self, medium_instance):
+        d = canonical_area_lower_bound(medium_instance) * 1.05
+        part = build_partition(medium_instance, d)
+        assert part is not None
+        item_keys = {key for key, _, _ in part.knapsack_items()}
+        for i in part.pinned_to_shelf1():
+            assert i not in item_keys
+        for key, weight, profit in part.knapsack_items():
+            assert weight >= 1 and profit >= 1

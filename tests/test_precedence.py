@@ -1,0 +1,129 @@
+"""Tests for the precedence-graph extension (repro.extensions.precedence)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import Allotment, Instance, MalleableTask, ModelError, mixed_instance
+from repro.extensions.precedence import (
+    PrecedenceInstance,
+    PrecedenceScheduler,
+    critical_path_lower_bound,
+    precedence_list_schedule,
+    random_task_tree,
+)
+
+
+def chain_instance(n: int = 4, m: int = 4) -> tuple[Instance, nx.DiGraph]:
+    tasks = [MalleableTask.constant_work(f"t{i}", 4.0, m) for i in range(n)]
+    inst = Instance(tasks, m)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return inst, graph
+
+
+class TestPrecedenceInstance:
+    def test_valid_dag(self):
+        inst, graph = chain_instance()
+        p = PrecedenceInstance(inst, graph)
+        assert p.num_tasks == 4
+        assert p.predecessors(1) == [0]
+        assert p.predecessors(0) == []
+
+    def test_cycle_rejected(self):
+        inst, graph = chain_instance()
+        graph.add_edge(3, 0)
+        with pytest.raises(ModelError):
+            PrecedenceInstance(inst, graph)
+
+    def test_bad_node_rejected(self):
+        inst, graph = chain_instance()
+        graph.add_node(99)
+        with pytest.raises(ModelError):
+            PrecedenceInstance(inst, graph)
+
+    def test_bottom_levels_of_chain(self):
+        inst, graph = chain_instance()
+        p = PrecedenceInstance(inst, graph)
+        allotment = Allotment.sequential(inst)
+        levels = p.bottom_levels(allotment)
+        # chain of four 4-hour tasks: bottom levels 16, 12, 8, 4
+        assert np.allclose(levels, [16.0, 12.0, 8.0, 4.0])
+
+
+class TestLowerBound:
+    def test_chain_bound_uses_critical_path(self):
+        inst, graph = chain_instance(n=4, m=4)
+        p = PrecedenceInstance(inst, graph)
+        # best case: each task takes 1.0 on 4 processors, chain of 4 -> 4.0
+        assert critical_path_lower_bound(p) == pytest.approx(4.0)
+
+    def test_independent_bound_is_area(self):
+        inst, _ = chain_instance(n=4, m=4)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(4))
+        p = PrecedenceInstance(inst, graph)
+        assert critical_path_lower_bound(p) == pytest.approx(4.0)  # area 16/4
+
+
+class TestPrecedenceListSchedule:
+    def test_chain_respects_precedence(self):
+        inst, graph = chain_instance()
+        p = PrecedenceInstance(inst, graph)
+        allotment = Allotment.gang(inst)
+        schedule = precedence_list_schedule(p, allotment)
+        schedule.validate()
+        for i in range(3):
+            assert schedule.entry_for(i).end <= schedule.entry_for(i + 1).start + 1e-9
+
+    def test_random_dag_respects_precedence(self):
+        inst = mixed_instance(12, 8, seed=3)
+        p = random_task_tree(inst, seed=5)
+        allotment = Allotment.sequential(inst)
+        schedule = precedence_list_schedule(p, allotment)
+        schedule.validate()
+        for u, v in p.graph.edges:
+            assert schedule.entry_for(int(u)).end <= schedule.entry_for(int(v)).start + 1e-9
+
+    def test_independent_tasks_fill_the_machine(self):
+        inst, _ = chain_instance(n=4, m=4)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(4))
+        p = PrecedenceInstance(inst, graph)
+        schedule = precedence_list_schedule(p, Allotment.sequential(inst))
+        assert schedule.makespan() == pytest.approx(4.0)
+
+
+class TestPrecedenceScheduler:
+    def test_scheduler_on_tree(self):
+        inst = mixed_instance(15, 8, seed=7)
+        p = random_task_tree(inst, seed=1)
+        scheduler = PrecedenceScheduler()
+        schedule = scheduler.schedule_graph(p)
+        schedule.validate()
+        assert schedule.makespan() >= critical_path_lower_bound(p) - 1e-6
+        for u, v in p.graph.edges:
+            assert schedule.entry_for(int(u)).end <= schedule.entry_for(int(v)).start + 1e-9
+
+    def test_scheduler_without_edges_matches_independent_interface(self):
+        inst = mixed_instance(10, 8, seed=2)
+        schedule = PrecedenceScheduler().schedule(inst)
+        schedule.validate()
+        assert schedule.is_complete()
+
+    def test_invalid_num_guesses(self):
+        with pytest.raises(ModelError):
+            PrecedenceScheduler(num_guesses=0)
+
+    def test_chain_uses_parallelism(self):
+        """On a pure chain the scheduler parallelises tasks instead of running
+        them sequentially on one processor."""
+        inst, graph = chain_instance(n=4, m=8)
+        p = PrecedenceInstance(inst, graph)
+        schedule = PrecedenceScheduler().schedule_graph(p)
+        sequential_chain = sum(t.sequential_time() for t in inst.tasks)
+        assert schedule.makespan() < sequential_chain - 1e-9

@@ -1,0 +1,104 @@
+"""Tests for the Section 2.1 properties (repro.core.properties)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, MalleableTask, mixed_instance
+from repro.core.properties import (
+    canonical_allotment,
+    is_small_sequential,
+    mu_area,
+    property1_holds,
+    property2_bound_holds,
+)
+
+
+class TestCanonicalAllotment:
+    def test_values(self, tiny_instance):
+        alloc = canonical_allotment(tiny_instance, 2.0)
+        assert alloc is not None
+        assert alloc.deadline == 2.0
+        assert len(alloc) == 4
+        # task "a" ([4.0, 2.2, 1.6, 1.3]) needs 3 procs to reach <= 2.0
+        assert alloc.procs[0] == 3
+        assert alloc.times[0] == pytest.approx(1.6)
+        assert alloc.works[0] == pytest.approx(4.8)
+
+    def test_totals(self, tiny_instance):
+        alloc = canonical_allotment(tiny_instance, 2.0)
+        assert alloc.total_procs == int(alloc.procs.sum())
+        assert alloc.total_work == pytest.approx(float(alloc.works.sum()))
+
+    def test_none_when_infeasible(self, tiny_instance):
+        assert canonical_allotment(tiny_instance, 0.1) is None
+
+    def test_allotment_shrinks_with_larger_deadline(self, medium_instance):
+        tight = canonical_allotment(medium_instance, medium_instance.lower_bound())
+        loose = canonical_allotment(medium_instance, medium_instance.upper_bound())
+        if tight is not None:
+            assert all(t >= l for t, l in zip(tight.procs, loose.procs))
+
+
+class TestProperty1:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_holds_on_random_monotonic_tasks(self, seed):
+        inst = mixed_instance(10, 12, seed=seed)
+        for deadline in (0.5, 1.0, 2.0, 5.0, 10.0):
+            for task in inst.tasks:
+                assert property1_holds(task, deadline)
+
+    def test_holds_vacuously_when_infeasible(self):
+        task = MalleableTask.rigid("t", 10.0, 4)
+        assert property1_holds(task, 1.0)
+
+    def test_parallel_canonical_time_above_half(self, medium_instance):
+        """Corollary: a canonically parallel task runs longer than d/2."""
+        d = medium_instance.lower_bound()
+        for task in medium_instance.tasks:
+            gamma = task.canonical_procs(d)
+            if gamma is not None and gamma >= 2:
+                assert task.time(gamma) > d / 2 - 1e-9
+
+
+class TestProperty2:
+    def test_none_when_gamma_missing(self, tiny_instance):
+        assert property2_bound_holds(tiny_instance, 0.1) is None
+
+    def test_true_at_generous_deadline(self, medium_instance):
+        assert property2_bound_holds(medium_instance, medium_instance.upper_bound())
+
+    def test_false_certifies_infeasibility(self):
+        """A deadline below the optimum of a dense instance fails the test."""
+        tasks = [MalleableTask.rigid(f"t{i}", 1.0, 2) for i in range(4)]
+        inst = Instance(tasks, 2)  # optimum is 2
+        assert property2_bound_holds(inst, 1.0) is False
+
+    def test_monotone_in_deadline(self, medium_instance):
+        """Once the bound holds it keeps holding for larger deadlines."""
+        lo = medium_instance.lower_bound()
+        hi = medium_instance.upper_bound()
+        held = False
+        for f in (1.0, 1.2, 1.5, 2.0, 4.0):
+            d = min(lo * f, hi)
+            ok = property2_bound_holds(medium_instance, d)
+            if held:
+                assert ok
+            held = held or bool(ok)
+
+
+class TestSmallSequential:
+    def test_small_task_is_sequential(self):
+        task = MalleableTask("t", [0.4, 0.3])
+        assert is_small_sequential(task, 1.0)
+        assert task.canonical_procs(1.0) == 1
+
+    def test_large_task_not_small(self):
+        task = MalleableTask("t", [0.9, 0.6])
+        assert not is_small_sequential(task, 1.0)
+
+
+class TestMuArea:
+    def test_delegates_to_instance(self, medium_instance):
+        d = medium_instance.upper_bound()
+        assert mu_area(medium_instance, d) == pytest.approx(medium_instance.mu_area(d))

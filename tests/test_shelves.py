@@ -1,0 +1,46 @@
+"""Tests for the shelf data structure (repro.packing.shelves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.packing import Shelf
+
+
+class TestShelf:
+    def test_empty_shelf(self):
+        shelf = Shelf(start=1.0, num_procs=8)
+        assert shelf.height == 0.0
+        assert shelf.end == 1.0
+        assert shelf.free == 8
+        assert len(shelf) == 0
+
+    def test_place_left_to_right(self):
+        shelf = Shelf(start=0.0, num_procs=8)
+        p1 = shelf.place(0, 3, 2.0)
+        p2 = shelf.place(1, 2, 1.0)
+        assert p1.first_proc == 0
+        assert p2.first_proc == 3
+        assert shelf.used == 5
+        assert shelf.free == 3
+        assert shelf.height == 2.0
+        assert shelf.end == 2.0
+
+    def test_overflow_raises(self):
+        shelf = Shelf(start=0.0, num_procs=4)
+        shelf.place(0, 3, 1.0)
+        with pytest.raises(InfeasibleError):
+            shelf.place(1, 2, 1.0)
+
+    def test_height_limit(self):
+        shelf = Shelf(start=0.0, num_procs=4, limit=1.5)
+        assert shelf.fits(2, 1.5)
+        assert not shelf.fits(2, 1.6)
+        with pytest.raises(InfeasibleError):
+            shelf.place(0, 2, 2.0)
+
+    def test_fits_width(self):
+        shelf = Shelf(start=0.0, num_procs=4)
+        shelf.place(0, 4, 1.0)
+        assert not shelf.fits(1, 0.5)

@@ -1,0 +1,116 @@
+"""Tests for the discrete-event machine simulator (repro.sim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Allotment,
+    Instance,
+    InvalidScheduleError,
+    MalleableTask,
+    MRTScheduler,
+    OnlineListSimulator,
+    Schedule,
+    mixed_instance,
+    simulate_and_check,
+    simulate_schedule,
+)
+from repro.baselines.gang import GangScheduler
+from repro.baselines.sequential import SequentialLPTScheduler
+from repro.sim.events import Event, EventKind
+
+
+class TestEvents:
+    def test_ordering_finish_before_start_at_same_time(self):
+        start = Event(1.0, 1, 0, EventKind.TASK_START, 0, 0, 1)
+        finish = Event(1.0, 0, 1, EventKind.TASK_FINISH, 1, 0, 1)
+        assert sorted([start, finish])[0] is finish
+
+    def test_procs_range(self):
+        event = Event(0.0, 1, 0, EventKind.TASK_START, 0, 2, 3)
+        assert list(event.procs) == [2, 3, 4]
+
+
+class TestSimulateSchedule:
+    def test_matches_static_makespan(self, medium_instance):
+        schedule = MRTScheduler().schedule(medium_instance)
+        result = simulate_schedule(schedule)
+        assert result.makespan == pytest.approx(schedule.makespan())
+        assert result.num_procs == medium_instance.num_procs
+
+    def test_utilization_matches_schedule(self, small_instance):
+        schedule = MRTScheduler().schedule(small_instance)
+        result = simulate_schedule(schedule)
+        assert result.utilization == pytest.approx(schedule.utilization(), rel=1e-6)
+        per_proc = result.per_processor_utilization()
+        assert per_proc.shape == (small_instance.num_procs,)
+        assert (per_proc <= 1.0 + 1e-9).all()
+
+    def test_detects_overlap(self):
+        inst = Instance([MalleableTask.rigid("a", 2.0, 2), MalleableTask.rigid("b", 2.0, 2)], 2)
+        bad = Schedule(inst)
+        bad.add(0, 0.0, 0, 1)
+        bad.add(1, 1.0, 0, 1)  # overlaps task a on processor 0
+        with pytest.raises(InvalidScheduleError):
+            simulate_schedule(bad)
+
+    def test_empty_schedule(self, small_instance):
+        result = simulate_schedule(Schedule(small_instance))
+        assert result.makespan == 0.0
+        assert result.utilization == 0.0
+
+
+class TestSimulateAndCheck:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_every_scheduler_output_executes_cleanly(self, seed):
+        inst = mixed_instance(12, 8, seed=seed)
+        for scheduler in (MRTScheduler(), GangScheduler(), SequentialLPTScheduler()):
+            result = simulate_and_check(scheduler.schedule(inst))
+            assert result.makespan > 0
+
+
+class TestOnlineListSimulator:
+    def test_valid_complete_schedule(self, medium_instance):
+        allotment = Allotment.sequential(medium_instance)
+        schedule = OnlineListSimulator(allotment).run()
+        schedule.validate()
+        assert schedule.is_complete()
+
+    def test_respects_allotment(self, small_instance):
+        allotment = Allotment.canonical(
+            small_instance, small_instance.lower_bound() * 1.5
+        )
+        if allotment is None:
+            pytest.skip("canonical allotment infeasible at this deadline")
+        schedule = OnlineListSimulator(allotment).run()
+        for entry in schedule.entries:
+            assert entry.num_procs == allotment[entry.task_index]
+
+    def test_sequential_tasks_match_lpt_makespan(self, small_instance):
+        """With one processor per task the online policy equals static LPT."""
+        allotment = Allotment.sequential(small_instance)
+        online = OnlineListSimulator(allotment).run()
+        static = SequentialLPTScheduler().schedule(small_instance)
+        assert online.makespan() == pytest.approx(static.makespan())
+
+    def test_custom_order(self, small_instance):
+        allotment = Allotment.sequential(small_instance)
+        order = list(range(small_instance.num_tasks))
+        schedule = OnlineListSimulator(allotment, order=order).run()
+        schedule.validate()
+
+    def test_no_idle_processor_while_task_waits(self, medium_instance):
+        """Work-conservation: the online policy never leaves a fitting task waiting."""
+        allotment = Allotment.sequential(medium_instance)
+        schedule = OnlineListSimulator(allotment).run()
+        # with sequential tasks, no processor may be idle before the last start
+        last_start = max(e.start for e in schedule.entries)
+        finish = schedule.processor_finish_times()
+        for proc_intervals in schedule.processor_intervals():
+            clock = 0.0
+            for start, end, _ in proc_intervals:
+                # any idle gap must be after the last task has started
+                if start > clock + 1e-9:
+                    assert clock >= last_start - 1e-9 or start >= last_start - 1e-9
+                clock = max(clock, end)

@@ -1,0 +1,158 @@
+"""Unit tests for the speedup models (repro.model.speedup)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AmdahlSpeedup,
+    CommunicationOverheadSpeedup,
+    ModelError,
+    NoSpeedup,
+    PerfectSpeedup,
+    PowerLawSpeedup,
+    TabulatedSpeedup,
+    ThresholdSpeedup,
+)
+
+
+ALL_MODELS = [
+    PerfectSpeedup(),
+    NoSpeedup(),
+    AmdahlSpeedup(0.1),
+    AmdahlSpeedup(0.5),
+    PowerLawSpeedup(0.7),
+    CommunicationOverheadSpeedup(0.02),
+    ThresholdSpeedup(4),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__ + repr(getattr(m, "__dict__", "")))
+class TestCommonModelBehaviour:
+    def test_speedup_at_one_is_one(self, model):
+        assert model.speedup(1) == pytest.approx(1.0)
+
+    def test_speedups_vector_matches_scalar(self, model):
+        vec = model.speedups(6)
+        assert len(vec) == 6
+        for p in range(1, 7):
+            assert vec[p - 1] == pytest.approx(model.speedup(p))
+
+    def test_profile_scales_with_sequential_time(self, model):
+        p1 = model.profile(10.0, 5)
+        p2 = model.profile(20.0, 5)
+        assert np.allclose(p2, 2.0 * p1)
+
+    def test_make_task_is_monotonic(self, model):
+        task = model.make_task("t", 10.0, 16)
+        assert task.is_monotonic
+        assert task.max_procs == 16
+
+    def test_make_task_sequential_time(self, model):
+        task = model.make_task("t", 7.5, 8)
+        assert task.time(1) == pytest.approx(7.5)
+
+
+class TestPerfectAndNone:
+    def test_perfect_speedup_is_linear(self):
+        model = PerfectSpeedup()
+        assert model.speedup(7) == 7.0
+
+    def test_no_speedup_is_flat(self):
+        model = NoSpeedup()
+        assert model.speedup(7) == 1.0
+
+
+class TestAmdahl:
+    def test_limits(self):
+        assert AmdahlSpeedup(0.0).speedup(8) == pytest.approx(8.0)
+        assert AmdahlSpeedup(1.0).speedup(8) == pytest.approx(1.0)
+
+    def test_bounded_by_serial_fraction(self):
+        model = AmdahlSpeedup(0.25)
+        assert model.speedup(10**6) <= 4.0 + 1e-9
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ModelError):
+            AmdahlSpeedup(-0.1)
+        with pytest.raises(ModelError):
+            AmdahlSpeedup(1.1)
+
+
+class TestPowerLaw:
+    def test_alpha_one_is_perfect(self):
+        assert PowerLawSpeedup(1.0).speedup(9) == pytest.approx(9.0)
+
+    def test_alpha_zero_is_flat(self):
+        assert PowerLawSpeedup(0.0).speedup(9) == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ModelError):
+            PowerLawSpeedup(1.5)
+
+
+class TestCommunicationOverhead:
+    def test_zero_overhead_is_perfect(self):
+        assert CommunicationOverheadSpeedup(0.0).speedup(5) == pytest.approx(5.0)
+
+    def test_overhead_eventually_dominates(self):
+        model = CommunicationOverheadSpeedup(0.1)
+        assert model.speedup(64) < model.speedup(3)
+
+    def test_optimal_procs(self):
+        model = CommunicationOverheadSpeedup(0.01)
+        best = model.optimal_procs(64)
+        assert 1 <= best <= 64
+        assert model.speedup(best) >= model.speedup(max(1, best - 1)) - 1e-12
+        assert model.speedup(best) >= model.speedup(min(64, best + 1)) - 1e-12
+
+    def test_optimal_procs_zero_overhead(self):
+        assert CommunicationOverheadSpeedup(0.0).optimal_procs(16) == 16
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ModelError):
+            CommunicationOverheadSpeedup(-0.1)
+
+    def test_make_task_plateaus(self):
+        """Monotonic repair turns the overhead dip into a plateau."""
+        task = CommunicationOverheadSpeedup(0.2).make_task("t", 10.0, 32)
+        assert task.time(32) <= task.time(1)
+        # beyond the optimum, times stay flat (never increase)
+        diffs = np.diff(task.times)
+        assert np.all(diffs <= 1e-12)
+
+
+class TestThreshold:
+    def test_speedup_saturates(self):
+        model = ThresholdSpeedup(3)
+        assert model.speedup(2) == 2.0
+        assert model.speedup(3) == 3.0
+        assert model.speedup(10) == 3.0
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ModelError):
+            ThresholdSpeedup(0)
+
+
+class TestTabulated:
+    def test_lookup(self):
+        model = TabulatedSpeedup([1.0, 1.8, 2.4])
+        assert model.speedup(2) == pytest.approx(1.8)
+
+    def test_first_value_must_be_one(self):
+        with pytest.raises(ModelError):
+            TabulatedSpeedup([1.5, 2.0])
+
+    def test_out_of_range(self):
+        model = TabulatedSpeedup([1.0, 1.5])
+        with pytest.raises(ModelError):
+            model.speedup(3)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ModelError):
+            TabulatedSpeedup([1.0, -1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            TabulatedSpeedup([])

@@ -1,0 +1,80 @@
+"""Tests for the level-oriented strip packers (repro.baselines.strip_packing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Allotment, Instance, MalleableTask, mixed_instance
+from repro.baselines.strip_packing import ffdh_schedule, nfdh_schedule, pack_with
+
+
+def random_rigid_allotment(seed: int, n: int = 20, m: int = 12) -> Allotment:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    inst = mixed_instance(n, m, seed=seed)
+    procs = rng.integers(1, m + 1, size=n)
+    return Allotment(inst, procs)
+
+
+@pytest.mark.parametrize("packer", [nfdh_schedule, ffdh_schedule], ids=["nfdh", "ffdh"])
+class TestShelfPackers:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_complete_schedule(self, packer, seed):
+        allotment = random_rigid_allotment(seed)
+        schedule = packer(allotment)
+        schedule.validate()
+        assert schedule.is_complete()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_respects_rigid_allotment(self, packer, seed):
+        allotment = random_rigid_allotment(seed)
+        schedule = packer(allotment)
+        for entry in schedule.entries:
+            assert entry.num_procs == allotment[entry.task_index]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_absolute_factor_three_on_bounded_heights(self, packer, seed):
+        """Shelf packings stay within 3× the rigid lower bound."""
+        allotment = random_rigid_allotment(seed)
+        schedule = packer(allotment)
+        assert schedule.makespan() <= 3.0 * allotment.lower_bound() + 1e-9
+
+    def test_single_task(self, packer):
+        inst = Instance([MalleableTask.rigid("t", 2.0, 4)], 4)
+        allotment = Allotment(inst, [3])
+        schedule = packer(allotment)
+        assert schedule.makespan() == pytest.approx(2.0)
+        assert schedule.entry_for(0).start == 0.0
+
+    def test_shelves_do_not_overlap_in_time(self, packer):
+        allotment = random_rigid_allotment(7)
+        schedule = packer(allotment)
+        # group tasks by start: each group's height must not overlap the next start
+        starts = sorted({round(e.start, 9) for e in schedule.entries})
+        for s0, s1 in zip(starts, starts[1:]):
+            tallest = max(e.duration for e in schedule.entries if abs(e.start - s0) < 1e-9)
+            assert s0 + tallest <= s1 + 1e-9
+
+
+class TestFFDHvsNFDH:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ffdh_never_worse_than_nfdh(self, seed):
+        allotment = random_rigid_allotment(seed, n=25)
+        assert (
+            ffdh_schedule(allotment).makespan()
+            <= nfdh_schedule(allotment).makespan() + 1e-9
+        )
+
+
+class TestPackWith:
+    def test_dispatch(self):
+        allotment = random_rigid_allotment(1)
+        for method in ("nfdh", "ffdh", "list"):
+            schedule = pack_with(allotment, method)
+            schedule.validate()
+
+    def test_unknown_method(self):
+        allotment = random_rigid_allotment(1)
+        with pytest.raises(ValueError):
+            pack_with(allotment, "steinberg")

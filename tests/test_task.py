@@ -1,0 +1,199 @@
+"""Unit tests for the malleable task model (repro.model.task)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MalleableTask, ModelError, MonotonicityError
+
+
+class TestConstruction:
+    def test_basic_profile(self):
+        task = MalleableTask("t", [4.0, 2.5, 2.0])
+        assert task.max_procs == 3
+        assert task.time(1) == 4.0
+        assert task.time(3) == 2.0
+
+    def test_name_is_stored(self):
+        assert MalleableTask("hello", [1.0]).name == "hello"
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [])
+
+    def test_two_dimensional_profile_rejected(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [[1.0, 2.0]])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [1.0, -0.5])
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [1.0, 0.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [float("inf")])
+
+    def test_increasing_time_rejected(self):
+        with pytest.raises(MonotonicityError):
+            MalleableTask("t", [1.0, 2.0])
+
+    def test_superlinear_speedup_rejected(self):
+        # work decreases from 4 to 3.8: super-linear speedup
+        with pytest.raises(MonotonicityError):
+            MalleableTask("t", [4.0, 1.9])
+
+    def test_non_monotonic_allowed_when_flagged(self):
+        task = MalleableTask("t", [1.0, 2.0], require_monotonic=False)
+        assert not task.is_monotonic
+
+    def test_profile_is_readonly(self):
+        task = MalleableTask("t", [2.0, 1.5])
+        with pytest.raises(ValueError):
+            task.times[0] = 99.0
+
+
+class TestConstructors:
+    def test_constant_work(self):
+        task = MalleableTask.constant_work("t", 12.0, 4)
+        assert task.time(1) == pytest.approx(12.0)
+        assert task.time(4) == pytest.approx(3.0)
+        assert task.work(4) == pytest.approx(12.0)
+
+    def test_rigid(self):
+        task = MalleableTask.rigid("t", 5.0, 6)
+        assert all(task.time(p) == 5.0 for p in range(1, 7))
+
+    def test_rigid_invalid_procs(self):
+        with pytest.raises(ModelError):
+            MalleableTask.rigid("t", 5.0, 0)
+
+    def test_from_speedup_repairs_monotonicity(self):
+        # speedup dips at p=3: the envelope must repair it
+        task = MalleableTask.from_speedup("t", 10.0, [1.0, 2.0, 1.5, 2.5])
+        assert task.is_monotonic
+
+    def test_from_speedup_rejects_non_positive(self):
+        with pytest.raises(ModelError):
+            MalleableTask.from_speedup("t", 10.0, [1.0, 0.0])
+
+    def test_monotonic_envelope_fixes_increasing_times(self):
+        task = MalleableTask.monotonic_envelope("t", [4.0, 5.0, 3.0])
+        assert task.is_monotonic
+        assert task.time(2) <= 4.0 + 1e-12
+
+    def test_monotonic_envelope_fixes_decreasing_work(self):
+        task = MalleableTask.monotonic_envelope("t", [4.0, 1.0])
+        assert task.is_monotonic
+        assert task.work(2) >= task.work(1) - 1e-9
+
+    def test_monotonic_envelope_preserves_valid_profiles(self):
+        times = [4.0, 2.5, 2.0, 1.8]
+        task = MalleableTask.monotonic_envelope("t", times)
+        assert np.allclose(task.times, times)
+
+
+class TestAccessors:
+    def test_work(self, amdahl_task):
+        for p in range(1, amdahl_task.max_procs + 1):
+            assert amdahl_task.work(p) == pytest.approx(p * amdahl_task.time(p))
+
+    def test_speedup_and_efficiency(self, amdahl_task):
+        assert amdahl_task.speedup(1) == pytest.approx(1.0)
+        assert amdahl_task.efficiency(1) == pytest.approx(1.0)
+        assert amdahl_task.speedup(4) > 1.0
+        assert amdahl_task.efficiency(4) <= 1.0 + 1e-12
+
+    def test_sequential_and_min_time(self):
+        task = MalleableTask("t", [4.0, 3.0, 2.5])
+        assert task.sequential_time() == 4.0
+        assert task.min_time() == 2.5
+
+    def test_procs_out_of_range(self):
+        task = MalleableTask("t", [1.0, 0.9])
+        with pytest.raises(ModelError):
+            task.time(0)
+        with pytest.raises(ModelError):
+            task.time(3)
+
+    def test_procs_must_be_int(self):
+        task = MalleableTask("t", [1.0, 0.9])
+        with pytest.raises(ModelError):
+            task.time(1.5)  # type: ignore[arg-type]
+
+
+class TestCanonicalProcs:
+    def test_canonical_basic(self):
+        task = MalleableTask("t", [4.0, 2.5, 2.0, 1.8])
+        assert task.canonical_procs(4.0) == 1
+        assert task.canonical_procs(2.5) == 2
+        assert task.canonical_procs(2.4) == 3
+        assert task.canonical_procs(1.0) is None
+
+    def test_canonical_negative_deadline(self):
+        task = MalleableTask("t", [1.0])
+        assert task.canonical_procs(-1.0) is None
+        assert task.canonical_procs(0.0) is None
+
+    def test_canonical_time_and_work(self):
+        task = MalleableTask("t", [4.0, 2.5, 2.0])
+        assert task.canonical_time(2.6) == pytest.approx(2.5)
+        assert task.canonical_work(2.6) == pytest.approx(5.0)
+        assert task.canonical_time(1.0) is None
+        assert task.canonical_work(1.0) is None
+
+    def test_canonical_on_non_monotonic_profile(self):
+        task = MalleableTask("t", [3.0, 4.0, 1.0], require_monotonic=False)
+        # linear scan fallback: first p with time <= 2 is p=3
+        assert task.canonical_procs(2.0) == 3
+
+    def test_property1_from_canonical(self):
+        """Work at the canonical allotment exceeds (γ-1)·d (Property 1)."""
+        task = MalleableTask("t", [8.0, 4.5, 3.2, 2.6])
+        d = 3.0
+        gamma = task.canonical_procs(d)
+        assert gamma == 4
+        assert task.work(gamma) > (gamma - 1) * d
+
+
+class TestTransformations:
+    def test_restricted(self):
+        task = MalleableTask("t", [4.0, 3.0, 2.0, 1.5])
+        small = task.restricted(2)
+        assert small.max_procs == 2
+        assert small.time(2) == 3.0
+
+    def test_restricted_invalid(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [1.0]).restricted(0)
+
+    def test_scaled(self):
+        task = MalleableTask("t", [4.0, 3.0])
+        scaled = task.scaled(2.0)
+        assert scaled.time(1) == 8.0
+        assert scaled.time(2) == 6.0
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ModelError):
+            MalleableTask("t", [1.0]).scaled(0.0)
+
+    def test_round_trip_dict(self):
+        task = MalleableTask("t", [4.0, 3.0, 2.5])
+        clone = MalleableTask.from_dict(task.as_dict())
+        assert clone == task
+
+    def test_equality_and_hash(self):
+        a = MalleableTask("t", [4.0, 3.0])
+        b = MalleableTask("t", [4.0, 3.0])
+        c = MalleableTask("t", [4.0, 2.9])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a task"

@@ -1,0 +1,120 @@
+"""Tests for the analytical quantities of the paper (repro.core.theory)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import theory
+
+
+class TestConstants:
+    def test_headline_guarantee(self):
+        assert theory.overall_guarantee() == pytest.approx(math.sqrt(3))
+        assert 1.0 + theory.LAMBDA_STAR == pytest.approx(theory.SQRT3)
+        assert 2.0 * theory.MU_STAR == pytest.approx(theory.SQRT3)
+
+    def test_malleable_list_guarantee_matches_core(self):
+        from repro.core.malleable_list import malleable_list_guarantee
+
+        for m in (1, 3, 7, 50):
+            assert theory.malleable_list_guarantee(m) == pytest.approx(
+                malleable_list_guarantee(m)
+            )
+
+    def test_largest_machine_below_sqrt3(self):
+        m = theory.largest_machine_below_sqrt3()
+        assert m == 6
+        assert theory.malleable_list_guarantee(m) <= theory.SQRT3
+        assert theory.malleable_list_guarantee(m + 1) > theory.SQRT3
+
+
+class TestKStar:
+    def test_definition(self):
+        for mu in (0.6, 0.75, 0.8, theory.MU_STAR, 0.9, 0.95):
+            k = theory.k_star(mu)
+            assert k / (k + 1) < mu
+            assert (k + 1) / (k + 2) >= mu
+
+    def test_known_values(self):
+        assert theory.k_star(0.75) == 2
+        assert theory.k_star(theory.MU_STAR) == 6
+        assert theory.k_star(0.95) == 18
+
+    def test_monotone_in_mu(self):
+        values = [theory.k_star(0.55 + 0.02 * i) for i in range(22)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theory.k_star(0.5)
+        with pytest.raises(ValueError):
+            theory.k_star(1.2)
+
+
+class TestKHat:
+    def test_definition(self):
+        for mu in (0.75, theory.MU_STAR, 0.9):
+            assert theory.k_hat(mu) == math.ceil((theory.k_star(mu) + 1) / 2)
+
+    def test_halving_keeps_below_two_mu(self):
+        """Allotting ⌈(k*+1)/2⌉ processors at most doubles a sub-μ task."""
+        for mu in (0.75, theory.MU_STAR, 0.9):
+            k_full = theory.k_star(mu) + 1
+            k_half = theory.k_hat(mu)
+            assert k_half * 2 >= k_full  # halving at most doubles the time
+
+
+class TestMStar:
+    def test_anchor_value_from_the_paper(self):
+        """The paper states the refined value m*(√3/2) = 8."""
+        assert theory.m_star(theory.MU_STAR) == 8
+
+    def test_figure8_range(self):
+        """Figure 8 spans roughly 5..20 over μ in [0.75, 0.95]."""
+        assert theory.m_star(0.75) == 5
+        assert 18 <= theory.m_star(0.95) <= 22
+
+    def test_monotone_in_mu(self):
+        mus = [0.75 + 0.01 * i for i in range(21)]
+        values = [theory.m_star(mu) for mu in mus]
+        assert values == sorted(values)
+
+    def test_at_least_kstar_plus_one(self):
+        for mu in (0.76, 0.85, theory.MU_STAR, 0.93):
+            assert theory.m_star(mu) >= theory.k_star(mu) + 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theory.m_star(0.5)
+        with pytest.raises(ValueError):
+            theory.m_star(1.0)
+
+    def test_empirical_cross_check(self):
+        """The empirical search never exceeds the analytical reconstruction.
+
+        (It is a lower bound by construction — a finite search can only find
+        violations, not prove the property.)  Kept small for test speed.
+        """
+        est = theory.m_star_empirical(
+            theory.MU_STAR, max_m=12, trials_per_m=5, seed=1
+        )
+        assert 2 <= est <= max(12, theory.m_star(theory.MU_STAR))
+
+
+class TestInefficiencyBound:
+    def test_infinite_without_t1_area(self):
+        assert theory.inefficiency_bound(theory.LAMBDA_STAR, 0.0, 1.0, 1.0, 8) == float(
+            "inf"
+        )
+
+    def test_at_least_one(self):
+        value = theory.inefficiency_bound(theory.LAMBDA_STAR, 4.0, 1.0, 1.0, 8)
+        assert value >= 1.0
+
+    def test_decreasing_in_other_areas(self):
+        lam = theory.LAMBDA_STAR
+        loose = theory.inefficiency_bound(lam, 4.0, 0.0, 0.0, 16)
+        tight = theory.inefficiency_bound(lam, 4.0, 3.0, 3.0, 16)
+        assert tight <= loose

@@ -1,0 +1,188 @@
+"""Tests for the λ-schedule construction (Section 4, repro.core.two_shelves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, MalleableTask, mixed_instance
+from repro.core.partition import LAMBDA_STAR, build_partition
+from repro.core.two_shelves import (
+    TwoShelfDual,
+    build_lambda_schedule,
+    build_trivial_schedule,
+    candidate_series,
+    find_trivial_solution,
+    is_feasible_subset,
+    select_shelf2_subset,
+)
+from repro.exceptions import InfeasibleError
+from repro.lower_bounds import canonical_area_lower_bound
+from repro.workloads.adversarial import shelf_overflow_instance
+
+
+@pytest.fixture
+def overflow_instance() -> Instance:
+    """Instance whose tall tasks overflow the first shelf at a tight guess."""
+    return shelf_overflow_instance(24, seed=3)
+
+
+def tight_partition(instance: Instance, factor: float = 1.25):
+    d = canonical_area_lower_bound(instance) * factor
+    part = build_partition(instance, d)
+    assert part is not None
+    return part
+
+
+class TestFeasibility:
+    def test_empty_subset_feasibility(self, medium_instance):
+        part = tight_partition(medium_instance, 1.5)
+        expected = part.q1 <= medium_instance.num_procs and part.free_shelf2 >= 0
+        assert is_feasible_subset(part, set()) == expected
+
+    def test_non_t1_subset_rejected(self, medium_instance):
+        part = tight_partition(medium_instance, 1.5)
+        if part.t3:
+            assert not is_feasible_subset(part, {part.t3[0]})
+
+    def test_pinned_task_cannot_move(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        pinned = part.pinned_to_shelf1()
+        if pinned:
+            assert not is_feasible_subset(part, {pinned[0]})
+
+
+class TestSubsetSelection:
+    @pytest.mark.parametrize("method", ["exact", "dual", "fptas"])
+    def test_selected_subset_is_feasible(self, overflow_instance, method):
+        part = tight_partition(overflow_instance)
+        subset = select_shelf2_subset(part, method=method)
+        if subset is not None:
+            assert is_feasible_subset(part, subset)
+
+    def test_unknown_method(self, medium_instance):
+        part = tight_partition(medium_instance, 1.5)
+        with pytest.raises(ValueError):
+            select_shelf2_subset(part, method="magic")
+
+    def test_exact_finds_solution_when_dual_does(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        exact = select_shelf2_subset(part, method="exact")
+        dual = select_shelf2_subset(part, method="dual")
+        assert (exact is None) == (dual is None)
+
+    def test_negative_free_shelf2_returns_none(self):
+        """When T2+T3 already overflow the machine there is no λ-schedule."""
+        tasks = [MalleableTask.rigid(f"t{i}", 0.7, 2) for i in range(8)]
+        inst = Instance(tasks, 2)
+        part = build_partition(inst, 1.0)
+        assert part is not None
+        if part.free_shelf2 < 0:
+            assert select_shelf2_subset(part) is None
+
+
+class TestLambdaScheduleConstruction:
+    def test_infeasible_subset_raises(self, medium_instance):
+        part = tight_partition(medium_instance, 1.5)
+        bad = set(part.t3[:1]) if part.t3 else {10**6}
+        with pytest.raises(InfeasibleError):
+            build_lambda_schedule(part, bad)
+
+    def test_schedule_structure(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        subset = select_shelf2_subset(part)
+        if subset is None:
+            pytest.skip("no λ-schedule at this guess")
+        schedule = build_lambda_schedule(part, subset)
+        schedule.validate()
+        assert schedule.is_complete()
+        d = part.guess
+        # two-shelf structure: starts are either < d (first shelf at 0, or a
+        # First-Fit stack inside a shelf) and everything ends by (1+λ)·d
+        assert schedule.makespan() <= (1 + part.lam) * d + 1e-6
+        for entry in schedule.entries:
+            if entry.task_index in part.t1 and entry.task_index not in subset:
+                assert entry.start == pytest.approx(0.0)
+                assert entry.duration <= d + 1e-9
+            if entry.task_index in subset or entry.task_index in part.t2:
+                assert entry.start >= d - 1e-9
+                assert entry.duration <= part.lam * d + 1e-9
+
+    def test_small_tasks_packed_on_second_shelf(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        subset = select_shelf2_subset(part)
+        if subset is None:
+            pytest.skip("no λ-schedule at this guess")
+        schedule = build_lambda_schedule(part, subset)
+        for i in part.t3:
+            entry = schedule.entry_for(i)
+            assert entry.num_procs == 1
+            assert entry.start >= part.guess - 1e-9
+            assert entry.end <= (1 + part.lam) * part.guess + 1e-6
+
+
+class TestTrivialSolutions:
+    def test_trivial_detection_and_schedule(self):
+        """One dominant tall task, everything else tiny: trivial solution exists."""
+        m = 8
+        big = MalleableTask.monotonic_envelope(
+            "big", [7.0 / p for p in range(1, m + 1)]
+        )
+        small = [MalleableTask.rigid(f"s{i}", 0.3, m) for i in range(4)]
+        inst = Instance([big] + small, m)
+        part = build_partition(inst, 1.0)
+        assert part is not None
+        tau = find_trivial_solution(part)
+        if tau is None:
+            pytest.skip("no trivial solution at guess 1.0 for this construction")
+        schedule = build_trivial_schedule(part, tau)
+        schedule.validate()
+        assert schedule.makespan() <= (1 + LAMBDA_STAR) * 1.0 + 1e-9
+        assert schedule.entry_for(tau).start == pytest.approx(1.0)
+
+    def test_build_trivial_rejects_non_t1(self, medium_instance):
+        part = tight_partition(medium_instance, 1.5)
+        with pytest.raises(InfeasibleError):
+            build_trivial_schedule(part, part.t3[0] if part.t3 else 0)
+
+
+class TestCandidateSeries:
+    def test_series_shrinks_to_empty(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        steps = candidate_series(part)
+        assert len(steps) >= 1
+        assert steps[-1].subset == ()
+        sizes = [len(s.subset) for s in steps]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_series_areas_decrease(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        steps = candidate_series(part)
+        areas = [s.canonical_area for s in steps]
+        assert all(a >= b - 1e-9 for a, b in zip(areas, areas[1:]))
+
+    def test_feasible_flag_matches_is_feasible(self, overflow_instance):
+        part = tight_partition(overflow_instance)
+        for step in candidate_series(part):
+            assert step.feasible == is_feasible_subset(part, step.subset)
+
+
+class TestTwoShelfDual:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_accepted_guess_within_target(self, seed):
+        inst = shelf_overflow_instance(20, seed=seed)
+        dual = TwoShelfDual()
+        lb = canonical_area_lower_bound(inst)
+        for factor in (1.0, 1.2, 1.6, 2.5):
+            schedule = dual.run(inst, lb * factor)
+            if schedule is not None:
+                schedule.validate()
+                assert schedule.makespan() <= dual.rho * lb * factor + 1e-6
+
+    def test_rejects_tiny_guess(self, medium_instance):
+        assert TwoShelfDual().run(medium_instance, 1e-9) is None
+
+    def test_accepts_generous_guess(self, medium_instance):
+        dual = TwoShelfDual()
+        schedule = dual.run(medium_instance, medium_instance.upper_bound())
+        assert schedule is not None
+        schedule.validate()

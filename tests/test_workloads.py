@@ -1,0 +1,142 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance, ModelError
+from repro.workloads import (
+    WORKLOAD_FAMILIES,
+    fragmentation_instance,
+    heavy_tailed_instance,
+    lpt_worst_case_instance,
+    make_workload,
+    mixed_instance,
+    ocean_instance,
+    property3_stress_instances,
+    random_monotonic_instance,
+    refinement_field,
+    rigid_heavy_instance,
+    shelf_overflow_instance,
+    uniform_instance,
+)
+
+GENERATORS = [
+    uniform_instance,
+    mixed_instance,
+    heavy_tailed_instance,
+    rigid_heavy_instance,
+    random_monotonic_instance,
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.__name__)
+class TestRandomFamilies:
+    def test_shape(self, generator):
+        inst = generator(10, 8, seed=0)
+        assert isinstance(inst, Instance)
+        assert inst.num_tasks == 10
+        assert inst.num_procs == 8
+
+    def test_all_tasks_monotonic(self, generator):
+        inst = generator(15, 16, seed=1)
+        assert all(task.is_monotonic for task in inst.tasks)
+
+    def test_deterministic_given_seed(self, generator):
+        a = generator(8, 8, seed=42)
+        b = generator(8, 8, seed=42)
+        for ta, tb in zip(a.tasks, b.tasks):
+            assert np.allclose(ta.times, tb.times)
+
+    def test_different_seeds_differ(self, generator):
+        a = generator(8, 8, seed=1)
+        b = generator(8, 8, seed=2)
+        assert any(
+            not np.allclose(ta.times, tb.times) for ta, tb in zip(a.tasks, b.tasks)
+        )
+
+    def test_invalid_sizes(self, generator):
+        with pytest.raises(ModelError):
+            generator(0, 8)
+        with pytest.raises(ModelError):
+            generator(5, 0)
+
+
+class TestRegistry:
+    def test_make_workload_all_families(self):
+        for family in WORKLOAD_FAMILIES:
+            inst = make_workload(family, 6, 4, seed=0)
+            assert inst.num_tasks == 6
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(ModelError):
+            make_workload("does-not-exist", 5, 4)
+
+
+class TestAdversarial:
+    def test_property3_instances_have_witness_structure(self):
+        count = 0
+        for inst in property3_stress_instances(12, 0.85, trials=8, rng=0):
+            count += 1
+            assert inst.num_procs == 12
+            assert all(task.is_monotonic for task in inst.tasks)
+        assert count > 0
+
+    def test_property3_requires_valid_mu(self):
+        with pytest.raises(ModelError):
+            list(property3_stress_instances(8, 0.4, trials=1))
+
+    def test_shelf_overflow_has_tall_tasks(self):
+        inst = shelf_overflow_instance(16, seed=0)
+        lb = inst.lower_bound()
+        tall = [t for t in inst.tasks if t.sequential_time() > 0.5 * lb]
+        assert tall
+
+    def test_shelf_overflow_min_size(self):
+        with pytest.raises(ModelError):
+            shelf_overflow_instance(2)
+
+    def test_fragmentation_deterministic(self):
+        a = fragmentation_instance(8)
+        b = fragmentation_instance(8)
+        assert a.num_tasks == b.num_tasks
+
+    def test_lpt_worst_case_structure(self):
+        m = 5
+        inst = lpt_worst_case_instance(m)
+        assert inst.num_tasks == 2 * m + 1
+        durations = sorted(t.sequential_time() for t in inst.tasks)
+        assert durations[0] == pytest.approx(m)
+        assert durations[-1] == pytest.approx(2 * m - 1)
+
+
+class TestOcean:
+    def test_refinement_field_shape_and_levels(self):
+        field = refinement_field(6, max_level=4, rng=0)
+        assert field.shape == (6, 6)
+        assert field.min() >= 1 and field.max() <= 4
+
+    def test_refinement_field_invalid(self):
+        with pytest.raises(ModelError):
+            refinement_field(0)
+
+    def test_ocean_instance_structure(self):
+        inst = ocean_instance(16, blocks=4, seed=0)
+        assert inst.num_tasks == 16
+        assert all(task.is_monotonic for task in inst.tasks)
+        # refined patches do more work than coarse ones
+        works = sorted(t.sequential_time() for t in inst.tasks)
+        assert works[-1] > works[0]
+
+    def test_ocean_speedup_limited_by_communication(self):
+        inst = ocean_instance(32, blocks=3, comm_cost=0.5, seed=1)
+        # with a huge communication cost, no task should scale to 32 procs
+        for task in inst.tasks:
+            assert task.speedup(32) < 32.0
+
+    def test_ocean_deterministic(self):
+        a = ocean_instance(8, blocks=3, seed=7)
+        b = ocean_instance(8, blocks=3, seed=7)
+        for ta, tb in zip(a.tasks, b.tasks):
+            assert np.allclose(ta.times, tb.times)
