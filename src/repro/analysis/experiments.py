@@ -4,11 +4,24 @@ This is the machinery behind the EXP-A/EXP-B/EXP-C rows of ``EXPERIMENTS.md``
 and behind ``python -m repro compare``.  It runs a set of schedulers over a
 grid of workloads (family × machine size × repetitions), measures every run
 against the strongest lower bound and aggregates the approximation ratios.
+
+Heavy-traffic mode
+------------------
+Both :func:`run_comparison` and :func:`sweep_workloads` accept ``workers=N``
+to fan the independent *(instance, scheduler)* pairs out over a process pool
+(``concurrent.futures``; threads as an automatic fallback when the platform
+forbids subprocesses).  Every run is deterministic, each worker carries its
+own pickled copy of the scheduler and rebuilds the instance's allotment
+engine locally, and the records are re-assembled in the exact submission
+order — so the parallel result is identical to the serial one, up to the
+measured per-run wall times.
 """
 
 from __future__ import annotations
 
+import copy
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -117,35 +130,104 @@ def default_schedulers() -> list[Scheduler]:
     ]
 
 
+def _run_single(
+    instance: Instance,
+    scheduler: Scheduler,
+    family: str,
+    lb: float | None = None,
+) -> RunRecord:
+    """Measure one (instance, scheduler) pair — the unit of parallel fan-out.
+
+    When ``lb`` is omitted (the parallel path) the lower bound is computed
+    here so the pair is self-contained; it is a deterministic function of
+    the instance, hence identical across serial and parallel runs, and its
+    dichotomic-search guesses prime the instance's allotment-engine cache
+    for the scheduler run that follows.  The serial path computes it once
+    per instance and passes it in.
+    """
+    if lb is None:
+        lb = best_lower_bound(instance)
+    start = time.perf_counter()
+    schedule = scheduler.schedule(instance)
+    elapsed = time.perf_counter() - start
+    schedule.validate()
+    return RunRecord(
+        instance_name=instance.name,
+        family=family,
+        num_tasks=instance.num_tasks,
+        num_procs=instance.num_procs,
+        algorithm=scheduler.name,
+        makespan=schedule.makespan(),
+        lower_bound=lb,
+        ratio=schedule.makespan() / lb if lb > 0 else float("inf"),
+        runtime_seconds=elapsed,
+    )
+
+
+def _run_parallel(
+    pairs: list[tuple[Instance, Scheduler, str]], workers: int
+) -> list[RunRecord]:
+    """Fan ``pairs`` out over a pool; records come back in submission order.
+
+    A process pool gives real parallelism (the schedulers are CPU-bound
+    Python); when the platform cannot spawn subprocesses (restricted
+    sandboxes) a thread pool is used instead, with a deep copy of each
+    scheduler per task so no scheduler state is shared across concurrent
+    runs (instances *are* shared there; their engine cache is thread-safe).
+
+    Only pool creation and submission are guarded by the fallback — worker
+    processes start eagerly during ``submit``, so a platform that forbids
+    ``fork`` fails there.  Exceptions raised by the measured code itself
+    surface through ``Future.result`` outside the guard and propagate
+    unchanged instead of silently re-running the batch on threads.
+    """
+    pool = None
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = [pool.submit(_run_single, *pair) for pair in pairs]
+    except (OSError, PermissionError):
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        with ThreadPoolExecutor(max_workers=workers) as tpool:
+            tfutures = [
+                tpool.submit(_run_single, inst, copy.deepcopy(sched), family)
+                for inst, sched, family in pairs
+            ]
+            return [f.result() for f in tfutures]
+    with pool:
+        return [f.result() for f in futures]
+
+
 def run_comparison(
     instances: Sequence[Instance],
     schedulers: Sequence[Scheduler] | None = None,
     *,
     family: str = "custom",
+    workers: int | None = None,
 ) -> ComparisonResult:
-    """Run every scheduler on every instance and collect the measurements."""
+    """Run every scheduler on every instance and collect the measurements.
+
+    ``workers=N`` distributes the (instance, scheduler) pairs over a pool of
+    ``N`` processes.  Record order and record contents are identical to the
+    serial run (every run is deterministic); only the measured
+    ``runtime_seconds`` reflect the machine's actual timings.
+    """
     chosen = list(schedulers) if schedulers is not None else default_schedulers()
+    pairs = [
+        (instance, scheduler, family)
+        for instance in instances
+        for scheduler in chosen
+    ]
     result = ComparisonResult()
-    for instance in instances:
-        lb = best_lower_bound(instance)
-        for scheduler in chosen:
-            start = time.perf_counter()
-            schedule = scheduler.schedule(instance)
-            elapsed = time.perf_counter() - start
-            schedule.validate()
-            result.records.append(
-                RunRecord(
-                    instance_name=instance.name,
-                    family=family,
-                    num_tasks=instance.num_tasks,
-                    num_procs=instance.num_procs,
-                    algorithm=scheduler.name,
-                    makespan=schedule.makespan(),
-                    lower_bound=lb,
-                    ratio=schedule.makespan() / lb if lb > 0 else float("inf"),
-                    runtime_seconds=elapsed,
-                )
-            )
+    if workers is not None and workers > 1 and len(pairs) > 1:
+        result.records.extend(_run_parallel(pairs, workers))
+    else:
+        lbs: dict[int, float] = {}
+        for instance, scheduler, fam in pairs:
+            lb = lbs.get(id(instance))
+            if lb is None:
+                lb = lbs[id(instance)] = best_lower_bound(instance)
+            result.records.append(_run_single(instance, scheduler, fam, lb))
     return result
 
 
@@ -157,16 +239,35 @@ def sweep_workloads(
     repetitions: int = 3,
     seed: int = 0,
     schedulers: Sequence[Scheduler] | None = None,
+    workers: int | None = None,
 ) -> ComparisonResult:
-    """The EXP-A sweep: families × machine sizes × repetitions."""
+    """The EXP-A sweep: families × machine sizes × repetitions.
+
+    Instance generation stays serial (it consumes one shared RNG stream, so
+    the workloads are independent of ``workers``); with ``workers=N`` the
+    whole grid of (instance, scheduler) pairs is then fanned out at once.
+    """
     rng = np.random.default_rng(seed)
-    result = ComparisonResult()
+    chosen = list(schedulers) if schedulers is not None else default_schedulers()
+    grid: list[tuple[str, list[Instance]]] = []
     for family in families:
         for m in machine_sizes:
             instances = [
                 make_workload(family, num_tasks, m, seed=rng)
                 for _ in range(repetitions)
             ]
-            partial = run_comparison(instances, schedulers, family=family)
+            grid.append((family, instances))
+    result = ComparisonResult()
+    if workers is not None and workers > 1:
+        pairs = [
+            (instance, scheduler, family)
+            for family, instances in grid
+            for instance in instances
+            for scheduler in chosen
+        ]
+        result.records.extend(_run_parallel(pairs, workers))
+    else:
+        for family, instances in grid:
+            partial = run_comparison(instances, chosen, family=family)
             result.records.extend(partial.records)
     return result

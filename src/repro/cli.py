@@ -85,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=["uniform", "mixed", "heavy-tailed", "rigid-heavy"],
         choices=sorted(WORKLOAD_FAMILIES),
     )
+    cmp_.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the (instance, scheduler) runs out over N worker processes "
+        "(deterministic: the records match the serial run)",
+    )
 
     mstar = sub.add_parser("mstar", help="print the m*(mu) curve of Figure 8")
     mstar.add_argument("--mu-min", type=float, default=0.75)
@@ -137,6 +144,7 @@ def main(argv: list[str] | None = None) -> int:
             machine_sizes=args.procs,
             repetitions=args.repetitions,
             seed=args.seed,
+            workers=args.workers,
         )
         print(result.summary_table())
         return 0

@@ -1,5 +1,11 @@
 """Core algorithms of the paper: dual approximation, list algorithms, knapsack two-shelf."""
 
+from .allotment_engine import (
+    AllotmentEngine,
+    GammaProfile,
+    PartitionSplit,
+    quantize_deadline,
+)
 from .dual import DualApproximation, DualSearchResult, GuessOutcome, dual_search
 from .properties import (
     CanonicalAllotment,
@@ -45,6 +51,10 @@ from .mrt import MRTDual, MRTResult, MRTScheduler
 from . import theory
 
 __all__ = [
+    "AllotmentEngine",
+    "GammaProfile",
+    "PartitionSplit",
+    "quantize_deadline",
     "DualApproximation",
     "DualSearchResult",
     "GuessOutcome",

@@ -156,7 +156,7 @@ class CanonicalListScheduler(Scheduler):
         from .malleable_list import MalleableListDual  # local import, no cycle
 
         dual = CanonicalListDual(self.mu)
-        fallback = MalleableListDual()
+        fallback = MalleableListDual.for_instance(instance)
 
         class _Combined:
             rho = dual.rho

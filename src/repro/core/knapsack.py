@@ -192,24 +192,48 @@ def knapsack_fptas(
         KnapsackItem(key=item.key, weight=item.weight, profit=int(item.profit / scale))
         for item in usable
     ]
-    # DP over scaled profit: minimal weight to reach each scaled profit level.
+    # DP over scaled profit: minimal weight to reach each scaled profit
+    # level, with an item-by-level ``take`` matrix for the reconstruction
+    # (parent pointers instead of the former O(levels²) list copies).
     total_scaled = sum(item.profit for item in scaled)
-    INF = float("inf")
-    min_weight = [0.0] + [INF] * total_scaled
-    choice: list[dict[int, bool]] = [dict() for _ in range(total_scaled + 1)]
-    selected_sets: list[list[int]] = [[] for _ in range(total_scaled + 1)]
-    for item, original in zip(scaled, usable):
-        for level in range(total_scaled, item.profit - 1, -1):
-            cand = min_weight[level - item.profit] + item.weight
-            if cand < min_weight[level]:
-                min_weight[level] = cand
-                selected_sets[level] = selected_sets[level - item.profit] + [item.key]
+    cap = total_scaled
+    INF = np.iinfo(np.int64).max // 4
+    # Rolling 1-D dp row: each iteration reads the *previous* row wholesale
+    # (``shifted`` is built before ``dp`` is updated), so after item ``idx``
+    # the row equals the classical 2-D ``dp[idx]`` and ``take[idx]`` records
+    # exactly the per-item decision the reconstruction needs — the row
+    # history itself is never read back.
+    dp = np.full(cap + 1, INF, dtype=np.int64)
+    dp[0] = 0
+    take = np.zeros((n + 1, cap + 1), dtype=bool)
+    for idx, item in enumerate(scaled, start=1):
+        if item.profit > 0:
+            shifted = np.full(cap + 1, INF, dtype=np.int64)
+            shifted[item.profit :] = dp[: cap - item.profit + 1]
+            feasible = shifted < INF
+            candidate = np.where(feasible, shifted + item.weight, INF)
+            better = candidate < dp
+            dp[better] = candidate[better]
+            take[idx][better] = True
+        # Zero-scaled-profit items never raise a level's profit and only add
+        # weight, so they are never taken.
     best_level = 0
-    for level in range(total_scaled + 1):
-        if min_weight[level] <= capacity and level > best_level:
+    for level in range(cap + 1):
+        if dp[level] <= capacity and level > best_level:
             best_level = level
-    keys = tuple(selected_sets[best_level])
+    # Walk the parent pointers: ``take[idx, level]`` records whether the
+    # minimal-weight set reaching ``level`` with the first ``idx`` items
+    # contains item ``idx``; moving to ``level - profit`` restores the
+    # sub-problem.
+    keys: list[int] = []
+    level = best_level
+    for idx in range(n, 0, -1):
+        if take[idx, level]:
+            item = scaled[idx - 1]
+            keys.append(item.key)
+            level -= item.profit
+    keys.reverse()
     key_set = set(keys)
     weight = sum(item.weight for item in items if item.key in key_set)
     profit = sum(item.profit for item in items if item.key in key_set)
-    return KnapsackSolution(keys=keys, weight=weight, profit=profit)
+    return KnapsackSolution(keys=tuple(keys), weight=weight, profit=profit)

@@ -51,15 +51,23 @@ def malleable_list_guarantee(num_procs: int) -> float:
 class MalleableListDual:
     """Dual ``(2 − 2/(m+1))``-approximation of Section 3.1.
 
-    The guarantee ``rho`` depends on the machine size, so it is fixed when
-    the object is bound to an instance via :meth:`for_instance` (the
-    :func:`repro.core.dual.dual_search` driver only reads ``rho`` for
-    documentation purposes; correctness comes from :meth:`run`).
+    The guarantee ``rho`` depends on the machine size, so it is a constant
+    of the *(algorithm, instance)* pair, not of a particular ``run`` call:
+    bind it with :meth:`for_instance` (or pass it to the constructor).
+    ``run`` never mutates the object — it is safe to share one dual across
+    threads and across the parallel experiment runner.  The default ``rho``
+    of an unbound dual is the machine-independent upper bound 2.
     """
 
     def __init__(self, rho: float | None = None) -> None:
-        #: guarantee factor; refreshed per instance in :meth:`run`.
+        #: guarantee factor ρ = θ_m = 2 − 2/(m+1); the machine-independent
+        #: upper bound 2 when the dual is not bound to an instance.
         self.rho = rho if rho is not None else 2.0
+
+    @classmethod
+    def for_instance(cls, instance: Instance) -> "MalleableListDual":
+        """A dual whose ``rho`` is the exact guarantee θ_m for ``instance``."""
+        return cls(malleable_list_guarantee(instance.num_procs))
 
     def run(self, instance: Instance, guess: float) -> Schedule | None:
         """Return a schedule of length ≤ ``θ_m·guess`` or ``None`` (reject)."""
@@ -67,22 +75,18 @@ class MalleableListDual:
             return None
         m = instance.num_procs
         theta = malleable_list_guarantee(m)
-        self.rho = theta
         threshold = theta * guess
-        # --- allotment phase -------------------------------------------------
-        procs = []
-        for task in instance.tasks:
-            p = task.canonical_procs(threshold)
-            if p is None:
-                # Even m processors cannot meet θ·d, hence cannot meet d either.
-                return None
-            procs.append(p)
-        allotment = Allotment(instance, procs)
+        # --- allotment phase (vectorized, memoized across guesses) -----------
+        alloc = instance.engine.allotment(threshold)
+        if alloc is None:
+            # Even m processors cannot meet θ·d, hence cannot meet d either.
+            return None
         # Property 2 rejection certificate: the allotment is component-wise at
         # most the canonical allotment of ``guess`` (θ ≥ 1), so if a schedule
         # of length ``guess`` existed its total work would be at most m·guess.
-        if allotment.total_work() > m * guess + EPS * max(1.0, guess):
+        if alloc.total_work > m * guess + EPS * max(1.0, guess):
             return None
+        allotment = Allotment(instance, alloc.procs)
         # --- scheduling phase -------------------------------------------------
         parallel = [i for i in range(instance.num_tasks) if allotment[i] >= 2]
         sequential = [i for i in range(instance.num_tasks) if allotment[i] == 1]
@@ -126,7 +130,7 @@ class MalleableListScheduler(Scheduler):
         self.last_result: DualSearchResult | None = None
 
     def schedule(self, instance: Instance) -> Schedule:
-        dual = MalleableListDual()
+        dual = MalleableListDual.for_instance(instance)
         result = dual_search(dual, instance, eps=self.eps)
         self.last_result = result
         result.schedule.validate()

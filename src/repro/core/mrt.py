@@ -122,7 +122,7 @@ class MRTDual:
         self.last_mu_area = mu_area
         small_area = mu_area is not None and mu_area <= self.mu * m * guess + EPS
         # ---- branch order per Section 5 ---------------------------------- #
-        malleable = MalleableListDual()
+        malleable = MalleableListDual.for_instance(instance)
         ml_first = malleable_list_guarantee(m) <= self.rho + EPS
         attempts: list[str] = []
         if ml_first:

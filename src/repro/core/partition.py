@@ -27,9 +27,8 @@ import numpy as np
 
 from ..exceptions import ModelError
 from ..model.instance import Instance
-from ..model.task import EPS
 from ..packing.bin_packing import BinPackingResult, first_fit
-from .properties import CanonicalAllotment, canonical_allotment
+from .properties import CanonicalAllotment
 
 __all__ = ["LAMBDA_STAR", "CanonicalPartition", "build_partition", "inefficiency_factor"]
 
@@ -141,28 +140,31 @@ class CanonicalPartition:
 def build_partition(
     instance: Instance, guess: float, lam: float = LAMBDA_STAR
 ) -> CanonicalPartition | None:
-    """Build the T1/T2/T3 partition, or ``None`` when some γ_i(d) does not exist."""
+    """Build the T1/T2/T3 partition, or ``None`` when some γ_i(d) does not exist.
+
+    The threshold split and both canonical allotments (at ``guess`` and at
+    ``λ·guess``) come from the instance's memoized vectorized engine, so the
+    dichotomic search of the √3 scheduler re-derives nothing across its
+    probes of the same guess.
+    """
     if guess <= 0:
         return None
     if not 0.5 < lam <= 1.0:
         raise ModelError("lambda must lie in (1/2, 1]")
-    alloc = canonical_allotment(instance, guess)
-    if alloc is None:
+    split = instance.engine.partition_split(guess, lam)
+    if split is None:
         return None
+    alloc = split.alloc
     part = CanonicalPartition(instance=instance, guess=guess, lam=lam, alloc=alloc)
-    half = guess / 2.0
+    part.t1 = [int(i) for i in split.t1]
+    part.t2 = [int(i) for i in split.t2]
+    part.t3 = [int(i) for i in split.t3]
+    part.shelf2_procs = {
+        i: (int(split.shelf2_procs[i]) or None) for i in part.t1
+    }
     shelf2_deadline = lam * guess
-    for i, task in enumerate(instance.tasks):
-        t_canon = float(alloc.times[i])
-        if t_canon > shelf2_deadline + EPS:
-            part.t1.append(i)
-            part.shelf2_procs[i] = task.canonical_procs(shelf2_deadline)
-        elif t_canon > half + EPS:
-            part.t2.append(i)
-        else:
-            part.t3.append(i)
-    part.q1 = int(sum(alloc.procs[i] for i in part.t1))
-    part.q2 = int(sum(alloc.procs[i] for i in part.t2))
+    part.q1 = int(alloc.procs[split.t1].sum()) if part.t1 else 0
+    part.q2 = int(alloc.procs[split.t2].sum()) if part.t2 else 0
     small_sizes = [float(alloc.times[i]) for i in part.t3]
     if small_sizes:
         part.small_packing = first_fit(small_sizes, shelf2_deadline)

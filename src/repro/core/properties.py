@@ -24,12 +24,9 @@ exercised by the property-based tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
 from ..model.instance import Instance
 from ..model.task import EPS, MalleableTask
+from .allotment_engine import CanonicalAllotment
 
 __all__ = [
     "CanonicalAllotment",
@@ -41,54 +38,16 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class CanonicalAllotment:
-    """Canonical allotment γ(d) of an instance for a deadline ``d``.
-
-    Attributes
-    ----------
-    deadline:
-        The guess ``d`` the allotment refers to.
-    procs:
-        ``procs[i] = γ_i(d)``.
-    times:
-        ``times[i] = t_i(γ_i(d))`` — the canonical execution times.
-    works:
-        ``works[i] = γ_i(d) · t_i(γ_i(d))`` — the canonical works/areas.
-    """
-
-    deadline: float
-    procs: np.ndarray
-    times: np.ndarray
-    works: np.ndarray
-
-    @property
-    def total_work(self) -> float:
-        """``Σ_i W_i(γ_i(d))``."""
-        return float(self.works.sum())
-
-    @property
-    def total_procs(self) -> int:
-        """``Σ_i γ_i(d)``."""
-        return int(self.procs.sum())
-
-    def __len__(self) -> int:
-        return int(self.procs.size)
-
-
 def canonical_allotment(instance: Instance, deadline: float) -> CanonicalAllotment | None:
-    """Compute γ(d) for every task, or ``None`` when some task cannot meet ``d``."""
-    procs = np.empty(instance.num_tasks, dtype=int)
-    times = np.empty(instance.num_tasks, dtype=float)
-    works = np.empty(instance.num_tasks, dtype=float)
-    for i, task in enumerate(instance.tasks):
-        p = task.canonical_procs(deadline)
-        if p is None:
-            return None
-        procs[i] = p
-        times[i] = task.time(p)
-        works[i] = task.work(p)
-    return CanonicalAllotment(deadline=float(deadline), procs=procs, times=times, works=works)
+    """Compute γ(d) for every task, or ``None`` when some task cannot meet ``d``.
+
+    Thin wrapper over the instance's memoized
+    :class:`~repro.core.allotment_engine.AllotmentEngine`: the whole γ
+    vector is one vectorized pass over the stacked profile matrix, and
+    repeated deadlines (dual-search guesses, the θ·d and λ·d satellites of
+    the √3 scheduler) are cache hits.
+    """
+    return instance.engine.allotment(deadline)
 
 
 def property1_holds(task: MalleableTask, deadline: float, *, tol: float = 1e-9) -> bool:

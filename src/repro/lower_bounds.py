@@ -86,34 +86,37 @@ def canonical_area_lower_bound(
 
 
 def squashed_area_lower_bound(instance: Instance) -> float:
-    """Turek-style squashed-area bound.
+    """Turek-style squashed-area bound (vectorized).
 
-    For every task, every allotment ``p`` gives the valid bound
-    ``max(t_i(p), ...)`` only when ``p`` is a lower bound on the optimal
-    allotment, which is unknown; the classical safe variant is to take, for
-    each task, the minimum over ``p`` of ``max(t_i(p), W_i(p)/m)`` and
-    combine it with the averaged area of those minimisers.  The result is a
-    valid lower bound because the optimal schedule must run each task with
-    *some* allotment.
+    Three valid ingredients are combined by ``max``:
+
+    * the classical area bound ``Σ_i t_i(1) / m`` (work is minimised on one
+      processor by monotonicity);
+    * for every task, ``min_p max(t_i(p), W_i(p)/m)``: whatever allotment
+      ``p*`` the optimal schedule uses, ``t_i(p*) ≤ OPT`` and
+      ``W_i(p*)/m ≤ (total work)/m ≤ OPT``, so the minimum over ``p`` is a
+      valid per-task lower bound;
+    * the longest unavoidable duration ``max_i t_i(m)``.
+
+    A previous revision promised to additionally combine the *averaged area
+    of the per-task minimisers*, ``Σ_i W_i(p̂_i)/m`` where ``p̂_i`` attains
+    the per-task minimum.  That combination is **not** a valid lower bound:
+    the optimal schedule may run a task on fewer processors than ``p̂_i``
+    with strictly less work, so the sum can exceed the optimum (see the
+    regression test ``test_lower_bounds.py::test_squashed_minimiser_area_
+    combination_is_unsound`` for a concrete two-task counterexample).  The
+    accumulation was dead code and has been removed.
     """
     m = instance.num_procs
-    per_task_bound = []
-    per_task_work = []
-    for task in instance.tasks:
-        best = np.inf
-        best_work = task.sequential_time()
-        for p in range(1, m + 1):
-            t = task.time(p)
-            w = task.work(p)
-            value = max(t, w / m)
-            if value < best - EPS:
-                best = value
-                best_work = w
-        per_task_bound.append(best)
-        per_task_work.append(best_work)
-    # The work of each task is at least its sequential work by monotonicity.
-    area = max(sum(t.sequential_time() for t in instance.tasks), 0.0) / m
-    return max(area, max(per_task_bound), max(t.min_time() for t in instance.tasks))
+    engine = instance.engine
+    # value[i, p-1] = max(t_i(p), W_i(p)/m); its row-wise minimum is the
+    # per-task squashed bound.
+    value = np.maximum(engine.times_matrix, engine.works_matrix / m)
+    per_task_bound = value.min(axis=1)
+    area = instance.total_sequential_work() / m
+    return float(
+        max(area, per_task_bound.max(), instance.max_min_time())
+    )
 
 
 def best_lower_bound(instance: Instance) -> float:

@@ -60,13 +60,10 @@ class Allotment:
         Returns ``None`` when some task cannot meet the deadline on ``m``
         processors (no schedule of length ``<= deadline`` exists).
         """
-        procs = []
-        for task in instance.tasks:
-            p = task.canonical_procs(deadline)
-            if p is None:
-                return None
-            procs.append(p)
-        return cls(instance, procs)
+        alloc = instance.engine.allotment(deadline)
+        if alloc is None:
+            return None
+        return cls(instance, alloc.procs)
 
     @classmethod
     def sequential(cls, instance: Instance) -> "Allotment":

@@ -40,7 +40,7 @@ class Instance:
         Optional label used in experiment reports.
     """
 
-    __slots__ = ("_tasks", "_m", "_name")
+    __slots__ = ("_tasks", "_m", "_name", "_engine")
 
     def __init__(
         self,
@@ -71,6 +71,7 @@ class Instance:
         self._tasks: tuple[MalleableTask, ...] = tuple(prepared)
         self._m = int(num_procs)
         self._name = str(name)
+        self._engine = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -110,6 +111,53 @@ class Instance:
             if task.name == name:
                 return i
         raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # vectorized allotment engine
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        """The per-instance :class:`~repro.core.allotment_engine.AllotmentEngine`.
+
+        Built lazily from the stacked profile matrices on first use and then
+        shared by every canonical-allotment consumer (schedulers, lower
+        bounds, partition), so repeated dual-search guesses hit its LRU
+        cache.  The engine is dropped on pickling (worker processes rebuild
+        their own).
+        """
+        if self._engine is None:
+            # Local import: the engine lives in the core layer, which imports
+            # the model layer at module scope.
+            from ..core.allotment_engine import AllotmentEngine
+
+            self._engine = AllotmentEngine(self.times_matrix, self.works_matrix)
+        return self._engine
+
+    @property
+    def times_matrix(self) -> np.ndarray:
+        """Stacked execution-time profiles, ``times[i, p-1] = t_i(p)``.
+
+        Rectangular ``(n, m)`` because the constructor truncates every
+        profile to exactly ``m`` columns.
+        """
+        return np.vstack([t.times for t in self._tasks])
+
+    @property
+    def works_matrix(self) -> np.ndarray:
+        """Stacked work profiles, ``works[i, p-1] = p · t_i(p)``."""
+        return np.vstack([t.works for t in self._tasks])
+
+    # ------------------------------------------------------------------ #
+    # pickling (the engine cache is per-process state, not instance data)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        return {"tasks": self._tasks, "m": self._m, "name": self._name}
+
+    def __setstate__(self, state: dict) -> None:
+        self._tasks = state["tasks"]
+        self._m = state["m"]
+        self._name = state["name"]
+        self._engine = None
 
     # ------------------------------------------------------------------ #
     # aggregate quantities
@@ -154,7 +202,7 @@ class Instance:
     # ------------------------------------------------------------------ #
     def canonical_procs(self, deadline: float) -> list[int | None]:
         """γ_i(deadline) for every task (``None`` when unreachable)."""
-        return [t.canonical_procs(deadline) for t in self._tasks]
+        return self.engine.canonical_procs(deadline)
 
     def canonical_work(self, deadline: float) -> float | None:
         """Total work of the canonical allotment, ``Σ W_i(γ_i(d))``.
@@ -162,13 +210,7 @@ class Instance:
         Returns ``None`` when some task cannot meet the deadline at all, in
         which case no schedule of length ``<= deadline`` exists.
         """
-        total = 0.0
-        for task in self._tasks:
-            p = task.canonical_procs(deadline)
-            if p is None:
-                return None
-            total += task.work(p)
-        return total
+        return self.engine.total_work(deadline)
 
     def mu_area(self, deadline: float) -> float | None:
         """Canonical μ-area ``W_m`` of Definition 1.
@@ -185,26 +227,7 @@ class Instance:
         ``m`` processors in total, ``W_m`` is simply the total canonical
         work.  Returns ``None`` when some γ_i does not exist.
         """
-        gammas = []
-        for task in self._tasks:
-            p = task.canonical_procs(deadline)
-            if p is None:
-                return None
-            gammas.append((task.time(p), p, task.work(p)))
-        gammas.sort(key=lambda item: -item[0])
-        area = 0.0
-        used = 0
-        for time, procs, work in gammas:
-            if used + procs <= self._m:
-                area += work
-                used += procs
-                if used == self._m:
-                    break
-            else:
-                area += (self._m - used) * time
-                used = self._m
-                break
-        return area
+        return self.engine.mu_area(deadline)
 
     # ------------------------------------------------------------------ #
     # transformations & serialisation

@@ -134,3 +134,22 @@ class TestFPTAS:
         sol = knapsack_fptas(items, capacity, eps=eps)
         assert sol.weight <= capacity
         assert sol.profit >= (1 - eps) * opt - 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tiny_eps_matches_exact_solver(self, seed):
+        """With profits small enough that scaling is a no-op, the FPTAS is exact.
+
+        Regression for the reconstruction rewrite (parent pointers instead
+        of per-level list copies): the selected set must reproduce the
+        reported totals and reach the exact optimum.
+        """
+        rng = np.random.default_rng(300 + seed)
+        items = random_items(rng, 9, max_w=10, max_p=12)
+        capacity = int(rng.integers(4, 35))
+        exact = knapsack_max_profit(items, capacity)
+        sol = knapsack_fptas(items, capacity, eps=1e-6)
+        assert sol.profit == exact.profit
+        assert sol.weight <= capacity
+        selected = [i for i in items if i.key in set(sol.keys)]
+        assert sum(i.profit for i in selected) == sol.profit
+        assert sum(i.weight for i in selected) == sol.weight

@@ -71,6 +71,54 @@ class TestSquashedBound:
             opt = optimal_schedule(inst).makespan()
             assert squashed_area_lower_bound(inst) <= opt + 1e-6
 
+    def test_regression_hand_computed_value(self):
+        """Pin the bound on an instance where every ingredient is hand-checkable.
+
+        m = 4, tasks:
+          a: t = (8, 4, 8/3, 2)   perfectly parallel, W(p) = 8 everywhere
+          b: t = (6, 6, 6, 6)     rigid, W(p) = 6p
+          c: t = (2, 2, 2, 2)     rigid, W(p) = 2p
+
+        Ingredients:
+          * area bound      = (8 + 6 + 2) / 4 = 4
+          * per-task bounds = min_p max(t, W/m):
+              a -> min(8, 4, 8/3, 2) = 2 (W/m = 2 everywhere)
+              b -> p=1: max(6, 1.5) = 6 (work only grows) -> 6
+              c -> p=1: max(2, 0.5) = 2 -> 2
+          * max_i t_i(m)    = 6
+        Bound = max(4, 6, 6) = 6.
+        """
+        tasks = [
+            MalleableTask.constant_work("a", 8.0, 4),
+            MalleableTask.rigid("b", 6.0, 4),
+            MalleableTask.rigid("c", 2.0, 4),
+        ]
+        inst = Instance(tasks, 4)
+        assert squashed_area_lower_bound(inst) == pytest.approx(6.0)
+
+    def test_squashed_minimiser_area_combination_is_unsound(self):
+        """The combination a previous docstring promised would overshoot OPT.
+
+        m = 4, two identical tasks with t = (4, 2.05, 1.4, 1.05), i.e.
+        W = (4, 4.1, 4.2, 4.2).  The per-task minimiser of
+        max(t(p), W(p)/m) is p̂ = 4 (value 1.05), so the "averaged area of
+        the minimisers" would be (4.2 + 4.2) / 4 = 2.1.  But running both
+        tasks side by side on 2 processors each finishes at t(2) = 2.05,
+        so 2.1 would exceed the optimum: the combination is not a valid
+        lower bound and must not be part of squashed_area_lower_bound.
+        """
+        profile = [4.0, 2.05, 1.4, 1.05]
+        inst = Instance(
+            [MalleableTask("x", profile), MalleableTask("y", profile)], 4
+        )
+        makespan_side_by_side = 2.05  # both tasks on 2 procs, in parallel
+        unsound = sum(t.work(4) for t in inst.tasks) / inst.num_procs
+        assert unsound > makespan_side_by_side  # the would-be bound overshoots
+        bound = squashed_area_lower_bound(inst)
+        assert bound <= makespan_side_by_side + 1e-9
+        # Pinned value: area = (4 + 4) / 4 = 2, per-task = 1.05, t(m) = 1.05.
+        assert bound == pytest.approx(2.0)
+
 
 class TestBestBound:
     def test_best_is_max_of_all(self, small_instance):
