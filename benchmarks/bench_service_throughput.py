@@ -1,0 +1,154 @@
+"""Throughput benchmark for the scheduling service (PR 2 tentpole).
+
+Self-hosts a :mod:`repro.service` HTTP server on an ephemeral port and
+drives it with the cold/warm load generator:
+
+1. **Cold phase** — a pool of distinct instances (mixed + uniform families
+   plus the deterministic adversarial instances), every request a
+   fingerprint-cache miss that runs the full scheduler.
+2. **Warm phase** — the same pool replayed several times; every request is
+   answered from the LRU cache.  The acceptance bar is a ≥ 5× throughput
+   speedup of warm over cold (the repeated-instance workload the service
+   exists to amortise).
+3. **Byte-identity check** — every service ``result`` payload (schedule +
+   makespan) must be byte-identical, under canonical JSON, to a direct
+   ``Scheduler.schedule()`` call on the same instance in this process.
+
+Emits a ``BENCH {...}`` JSON line for CI artifact collection and exits
+non-zero when the speedup bar or the identity check fails.
+
+Run directly (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.model.instance import Instance
+from repro.registry import make_scheduler
+from repro.service import canonical_json, run_loadtest, start_background_server
+from repro.service.loadtest import build_workload_payloads
+
+
+def check_byte_identity(payloads: list[dict], base_url: str) -> int:
+    """Replay every payload once and diff against direct scheduler calls.
+
+    Returns the number of mismatching instances (0 = byte-identical).
+    """
+    from repro.service import ServiceClient
+
+    client = ServiceClient(base_url)
+    mismatches = 0
+    for payload in payloads:
+        response = client.schedule_payload(payload)
+        instance = Instance.from_dict(payload["instance"])
+        scheduler = make_scheduler(payload["algorithm"], payload.get("params"))
+        schedule = scheduler.schedule(instance)
+        direct = {
+            "algorithm": schedule.algorithm or scheduler.name,
+            "makespan": schedule.makespan(),
+            "num_tasks": instance.num_tasks,
+            "num_procs": instance.num_procs,
+            "schedule": schedule.as_dict(),
+        }
+        if canonical_json(response["result"]) != canonical_json(direct):
+            mismatches += 1
+            print(
+                f"MISMATCH on {instance.name!r}: service makespan "
+                f"{response['result']['makespan']!r} vs direct "
+                f"{direct['makespan']!r}"
+            )
+    return mismatches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="acceptance bar for warm/cold throughput (default 5x)",
+    )
+    args = parser.parse_args(argv)
+
+    instances = 6 if args.quick else 10
+    tasks = 20 if args.quick else 40
+    procs = 16 if args.quick else 32
+    repeats = 3 if args.quick else 5
+    concurrency = 6 if args.quick else 8
+
+    server, _ = start_background_server(allow_shutdown=True)
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    print(f"self-hosted service on {base_url}")
+    try:
+        report = run_loadtest(
+            base_url,
+            families=("mixed", "uniform"),
+            instances=instances,
+            tasks=tasks,
+            procs=procs,
+            seed=0,
+            repeats=repeats,
+            concurrency=concurrency,
+            algorithm="mrt",
+        )
+        payloads = build_workload_payloads(
+            families=("mixed", "uniform"),
+            instances=instances,
+            tasks=tasks,
+            procs=procs,
+            seed=0,
+            algorithm="mrt",
+        )
+        mismatches = check_byte_identity(payloads, base_url)
+    finally:
+        server.close()
+
+    cold, warm = report["cold"], report["warm"]
+    print(f"pool: {report['config']['pool_size']} instances "
+          f"({tasks} tasks x {procs} procs), {concurrency} client threads")
+    print(f"cold : {cold['requests']:5d} requests  {cold['rps']:8.1f} req/s  "
+          f"p50={cold['p50_ms']:7.2f}ms  p99={cold['p99_ms']:7.2f}ms")
+    print(f"warm : {warm['requests']:5d} requests  {warm['rps']:8.1f} req/s  "
+          f"p50={warm['p50_ms']:7.2f}ms  p99={warm['p99_ms']:7.2f}ms")
+    print(f"warm/cold speedup: {report['speedup']:.1f}x  "
+          f"(bar: {args.min_speedup:.1f}x)")
+    print(f"replayed responses consistent  : {report['consistent']}")
+    print(f"byte-identical to direct calls : {mismatches == 0}")
+    bench = {
+        "benchmark": "service_throughput",
+        "quick": args.quick,
+        "report": report,
+        "byte_identity_mismatches": mismatches,
+        "min_speedup": args.min_speedup,
+    }
+    print("BENCH " + json.dumps(bench, sort_keys=True))
+
+    failures = []
+    if report["speedup"] < args.min_speedup:
+        failures.append(
+            f"warm/cold speedup {report['speedup']:.1f}x below the "
+            f"{args.min_speedup:.1f}x bar"
+        )
+    if not report["consistent"]:
+        failures.append("replayed responses differ across warm passes")
+    if mismatches:
+        failures.append(f"{mismatches} response(s) differ from direct scheduler calls")
+    if cold["errors"] or warm["errors"]:
+        failures.append(f"request errors: cold={cold['errors']} warm={warm['errors']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,10 @@ measured per-run wall times.
 from __future__ import annotations
 
 import copy
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -43,6 +45,7 @@ __all__ = [
     "RunRecord",
     "ComparisonResult",
     "default_schedulers",
+    "make_pool",
     "run_comparison",
     "sweep_workloads",
 ]
@@ -164,6 +167,40 @@ def _run_single(
     )
 
 
+def _pool_probe() -> int:
+    """Picklable no-op used to verify that a process pool can actually run."""
+    return os.getpid()
+
+
+def make_pool(workers: int, *, prefer: str = "process") -> tuple[Executor, str]:
+    """Build an executor with the process→thread fallback, return ``(pool, kind)``.
+
+    This is the shared dispatch backend of the experiment harness *and* of
+    :class:`repro.service.SchedulerService`.  With ``prefer="process"`` a
+    :class:`ProcessPoolExecutor` is created and probed with a trivial task
+    (worker processes start lazily on some platforms, so constructing the
+    pool alone proves nothing); when the platform forbids subprocesses
+    (restricted sandboxes) the probe fails and a :class:`ThreadPoolExecutor`
+    is returned instead.  ``kind`` is ``"process"`` or ``"thread"`` so
+    callers can adapt (e.g. deep-copy shared mutable state before submitting
+    to threads).  ``prefer="thread"`` skips the probe and always returns a
+    thread pool — the right default for a latency-sensitive service where
+    pickling instances per request would dominate.
+    """
+    if prefer not in ("process", "thread"):
+        raise ValueError(f"prefer must be 'process' or 'thread', got {prefer!r}")
+    if prefer == "process":
+        pool = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            pool.submit(_pool_probe).result()
+            return pool, "process"
+        except (OSError, PermissionError, BrokenProcessPool):
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+    return ThreadPoolExecutor(max_workers=workers), "thread"
+
+
 def _run_parallel(
     pairs: list[tuple[Instance, Scheduler, str]], workers: int
 ) -> list[RunRecord]:
@@ -171,30 +208,21 @@ def _run_parallel(
 
     A process pool gives real parallelism (the schedulers are CPU-bound
     Python); when the platform cannot spawn subprocesses (restricted
-    sandboxes) a thread pool is used instead, with a deep copy of each
-    scheduler per task so no scheduler state is shared across concurrent
-    runs (instances *are* shared there; their engine cache is thread-safe).
-
-    Only pool creation and submission are guarded by the fallback — worker
-    processes start eagerly during ``submit``, so a platform that forbids
-    ``fork`` fails there.  Exceptions raised by the measured code itself
-    surface through ``Future.result`` outside the guard and propagate
-    unchanged instead of silently re-running the batch on threads.
+    sandboxes) :func:`make_pool` falls back to a thread pool, and each task
+    then gets a deep copy of its scheduler so no scheduler state is shared
+    across concurrent runs (instances *are* shared there; their engine cache
+    is thread-safe).  Exceptions raised by the measured code itself surface
+    through ``Future.result`` and propagate unchanged.
     """
-    pool = None
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-        futures = [pool.submit(_run_single, *pair) for pair in pairs]
-    except (OSError, PermissionError):
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-        with ThreadPoolExecutor(max_workers=workers) as tpool:
-            tfutures = [
-                tpool.submit(_run_single, inst, copy.deepcopy(sched), family)
+    pool, kind = make_pool(workers)
+    with pool:
+        if kind == "process":
+            futures = [pool.submit(_run_single, *pair) for pair in pairs]
+        else:
+            futures = [
+                pool.submit(_run_single, inst, copy.deepcopy(sched), family)
                 for inst, sched, family in pairs
             ]
-            return [f.result() for f in tfutures]
-    with pool:
         return [f.result() for f in futures]
 
 

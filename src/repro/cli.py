@@ -7,6 +7,9 @@ Sub-commands
               chosen algorithm and print the metrics and Gantt chart.
 ``compare``   Run the EXP-A style comparison sweep and print the summary table.
 ``mstar``     Print the m*(μ) curve of Figure 8.
+``serve``     Run the HTTP scheduling service (see :mod:`repro.service`).
+``loadtest``  Drive a service (or a self-hosted one) with the cold/warm load
+              generator and print the throughput report.
 """
 
 from __future__ import annotations
@@ -21,33 +24,22 @@ import numpy as np
 from .analysis.experiments import sweep_workloads
 from .analysis.gantt import gantt_chart
 from .analysis.metrics import evaluate_schedule
-from .baselines.gang import GangScheduler
-from .baselines.ludwig import LudwigScheduler
-from .baselines.sequential import SequentialLPTScheduler
-from .baselines.turek import TurekScheduler
-from .core.mrt import MRTScheduler
 from .core import theory
+from .exceptions import ModelError
 from .model.instance import Instance
+from .registry import ALGORITHMS, make_scheduler
 from .scheduler import Scheduler
 from .workloads.generators import WORKLOAD_FAMILIES, make_workload
 from .workloads.ocean import ocean_instance
 
 __all__ = ["main", "build_parser", "ALGORITHMS"]
 
-#: CLI algorithm registry.
-ALGORITHMS: dict[str, type | object] = {
-    "mrt": MRTScheduler,
-    "ludwig": LudwigScheduler,
-    "turek": TurekScheduler,
-    "sequential": SequentialLPTScheduler,
-    "gang": GangScheduler,
-}
-
 
 def _make_scheduler(name: str) -> Scheduler:
-    if name not in ALGORITHMS:
-        raise SystemExit(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
-    return ALGORITHMS[name]()  # type: ignore[operator]
+    try:
+        return make_scheduler(name)
+    except ModelError as exc:
+        raise SystemExit(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,6 +89,75 @@ def build_parser() -> argparse.ArgumentParser:
     mstar.add_argument("--mu-min", type=float, default=0.75)
     mstar.add_argument("--mu-max", type=float, default=0.95)
     mstar.add_argument("--points", type=int, default=21)
+
+    srv = sub.add_parser("serve", help="run the HTTP scheduling service")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    srv.add_argument("--workers", type=int, default=None, help="worker pool size")
+    srv.add_argument(
+        "--prefer",
+        default="thread",
+        choices=["thread", "process"],
+        help="worker pool kind (process falls back to threads in sandboxes)",
+    )
+    srv.add_argument("--batch-size", type=int, default=32, help="micro-batch bound")
+    srv.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=0.0,
+        help="hold micro-batches open this long for stragglers "
+        "(milliseconds; 0 = drain only what is already queued)",
+    )
+    srv.add_argument("--cache-capacity", type=int, default=2048)
+    srv.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="result cache TTL in seconds (default: no expiry)",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="backpressure bound on in-flight requests (503 beyond it)",
+    )
+    srv.add_argument(
+        "--allow-shutdown",
+        action="store_true",
+        help="enable POST /shutdown (tests, CI smoke jobs)",
+    )
+    srv.add_argument(
+        "--ready-file",
+        type=Path,
+        default=None,
+        help="write 'host port' here once listening (test/automation hook)",
+    )
+    srv.add_argument("--verbose", action="store_true", help="log every request")
+
+    lt = sub.add_parser("loadtest", help="run the cold/warm service load generator")
+    lt.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running service; omitted = self-host an ephemeral server",
+    )
+    lt.add_argument(
+        "--families", nargs="+", default=["mixed", "uniform"],
+        choices=sorted(WORKLOAD_FAMILIES),
+    )
+    lt.add_argument("--instances", type=int, default=8, help="synthetic pool size")
+    lt.add_argument("--tasks", type=int, default=30)
+    lt.add_argument("--procs", type=int, default=16)
+    lt.add_argument("--seed", type=int, default=0)
+    lt.add_argument("--repeats", type=int, default=3, help="warm replay passes")
+    lt.add_argument("--concurrency", type=int, default=4, help="client threads")
+    lt.add_argument("--algorithm", default="mrt", choices=sorted(ALGORITHMS))
+    lt.add_argument("--validate", action="store_true", help="simulate-and-check replies")
+    lt.add_argument(
+        "--no-adversarial",
+        action="store_true",
+        help="skip the deterministic adversarial instances in the pool",
+    )
+    lt.add_argument("--json", action="store_true", help="also print a BENCH JSON line")
     return parser
 
 
@@ -106,6 +167,97 @@ def _load_or_generate(args: argparse.Namespace) -> Instance:
     if args.family == "ocean":
         return ocean_instance(args.procs, seed=args.seed)
     return make_workload(args.family, args.tasks, args.procs, seed=args.seed)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP scheduling service until interrupted or shut down."""
+    from .service import SchedulerService, make_server
+
+    service = SchedulerService(
+        workers=args.workers,
+        prefer=args.prefer,
+        batch_size=args.batch_size,
+        batch_wait=args.batch_wait_ms / 1e3,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        max_pending=args.max_pending,
+    )
+    server = make_server(
+        args.host,
+        args.port,
+        service,
+        allow_shutdown=args.allow_shutdown,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"scheduling service listening on http://{host}:{port} "
+        f"(workers={service.workers}, pool={service.pool_kind}, "
+        f"cache={service.cache.capacity}"
+        + (f", ttl={service.cache.ttl:g}s" if service.cache.ttl else "")
+        + ")",
+        flush=True,
+    )
+    if args.ready_file is not None:
+        args.ready_file.write_text(f"{host} {port}\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    print("scheduling service stopped", flush=True)
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a (possibly self-hosted) service and print the report."""
+    from .service import run_loadtest, start_background_server
+
+    server = None
+    base_url = args.url
+    if base_url is None:
+        server, _ = start_background_server(allow_shutdown=True)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        print(f"self-hosted service on {base_url}")
+    try:
+        report = run_loadtest(
+            base_url,
+            families=args.families,
+            instances=args.instances,
+            tasks=args.tasks,
+            procs=args.procs,
+            seed=args.seed,
+            repeats=args.repeats,
+            concurrency=args.concurrency,
+            algorithm=args.algorithm,
+            validate=args.validate,
+            include_adversarial=not args.no_adversarial,
+        )
+    finally:
+        if server is not None:
+            server.close()
+    cold, warm = report["cold"], report["warm"]
+    print(
+        f"pool={report['config']['pool_size']} instances  algorithm={args.algorithm}  "
+        f"concurrency={args.concurrency}"
+    )
+    for phase in (cold, warm):
+        print(
+            f"{phase['name']:<5} {phase['requests']:5d} requests in "
+            f"{phase['seconds']:7.2f}s  {phase['rps']:8.1f} req/s  "
+            f"p50={phase['p50_ms']:7.2f}ms  p99={phase['p99_ms']:7.2f}ms  "
+            f"hits={phase['cache_hits']}  errors={phase['errors']}"
+        )
+    print(
+        f"warm/cold throughput speedup: {report['speedup']:.1f}x   "
+        f"responses consistent: {report['consistent']}"
+    )
+    if args.json:
+        print("BENCH " + json.dumps(report, sort_keys=True))
+    return 0 if report["consistent"] and cold["errors"] == 0 and warm["errors"] == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,6 +311,12 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(f"(anchor: m*(sqrt(3)/2) = {theory.m_star(theory.MU_STAR)})")
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -16,6 +16,7 @@ __all__ = [
     "InfeasibleError",
     "SchedulingError",
     "SearchError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -62,3 +63,13 @@ class SchedulingError(ReproError):
 
 class SearchError(ReproError):
     """The dual-approximation dichotomic search failed to converge."""
+
+
+class ServiceOverloadedError(ReproError):
+    """The scheduling service rejected a request due to backpressure.
+
+    Raised by :meth:`repro.service.SchedulerService.submit` when the number
+    of in-flight requests has reached ``max_pending``; the HTTP frontend
+    translates it into a ``503 Service Unavailable`` response so load
+    generators can back off instead of queueing unboundedly.
+    """

@@ -15,6 +15,7 @@ immutable once built.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Iterable, Iterator, Sequence
 
@@ -23,7 +24,24 @@ import numpy as np
 from ..exceptions import ModelError
 from .task import EPS, MalleableTask
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "profile_fingerprint"]
+
+
+def profile_fingerprint(num_procs: int, times_matrix: np.ndarray) -> str:
+    """Content hash shared by :meth:`Instance.fingerprint` and the service.
+
+    Hashes the machine size and the ``(n, m)`` execution-time matrix at full
+    ``float64`` precision (little-endian, so the digest is architecture
+    independent).  Exposed at module level so the service frontend can
+    fingerprint a raw request payload without materialising the
+    :class:`Instance` (the cache-hit fast path).
+    """
+    times = np.ascontiguousarray(times_matrix, dtype="<f8")
+    digest = hashlib.sha256()
+    digest.update(b"repro-instance-v1")
+    digest.update(f"{int(num_procs)}:{times.shape[0]}:{times.shape[1]}".encode())
+    digest.update(times.tobytes())
+    return digest.hexdigest()
 
 
 class Instance:
@@ -40,7 +58,7 @@ class Instance:
         Optional label used in experiment reports.
     """
 
-    __slots__ = ("_tasks", "_m", "_name", "_engine")
+    __slots__ = ("_tasks", "_m", "_name", "_engine", "_fingerprint")
 
     def __init__(
         self,
@@ -72,6 +90,7 @@ class Instance:
         self._m = int(num_procs)
         self._name = str(name)
         self._engine = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -158,6 +177,7 @@ class Instance:
         self._m = state["m"]
         self._name = state["name"]
         self._engine = None
+        self._fingerprint = None
 
     # ------------------------------------------------------------------ #
     # aggregate quantities
@@ -256,8 +276,35 @@ class Instance:
         """
         return Instance(self._tasks, num_procs, name=self._name)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the instance (hex SHA-256, cached).
+
+        The hash covers exactly what the scheduling algorithms see — the
+        machine size ``m`` and the stacked execution-time profiles at full
+        ``float64`` precision (serialised little-endian, so the digest is
+        identical across architectures).  Labels (instance name, task names)
+        are deliberately *excluded*: two instances with the same profiles
+        produce the same schedules, so they must share a fingerprint for the
+        service result cache to recognise replayed workloads.  Task order
+        matters (schedules refer to tasks by index).
+
+        Serialisation round-trips are fingerprint-preserving:
+        ``Instance.from_json(inst.to_json()).fingerprint() ==
+        inst.fingerprint()`` because :meth:`to_json` stores every float with
+        its shortest round-trip ``repr`` (bit-exact under Python's JSON).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = profile_fingerprint(self._m, self.times_matrix)
+        return self._fingerprint
+
     def as_dict(self) -> dict:
-        """JSON-serialisable representation."""
+        """JSON-serialisable representation.
+
+        Float profiles are emitted as native Python floats (``ndarray.tolist``),
+        which serialise through ``json`` with their shortest round-trip
+        ``repr`` — so ``from_dict(as_dict())`` reconstructs bit-exact
+        ``float64`` profiles and preserves :meth:`fingerprint`.
+        """
         return {
             "name": self._name,
             "num_procs": self._m,
@@ -265,8 +312,12 @@ class Instance:
         }
 
     def to_json(self) -> str:
-        """Serialise to a JSON string."""
-        return json.dumps(self.as_dict())
+        """Serialise to a canonical JSON string (sorted keys, no whitespace).
+
+        The canonical form makes equal instances serialise to equal bytes,
+        which the service layer relies on when comparing responses.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Instance":

@@ -1,0 +1,51 @@
+"""Central algorithm registry shared by the CLI and the service layer.
+
+Maps the public algorithm names to their :class:`~repro.scheduler.Scheduler`
+factories.  The CLI (``python -m repro schedule --algorithm NAME``) and the
+scheduling service (``POST /schedule`` with ``{"algorithm": NAME}``) resolve
+names through this module so the two entry points can never drift apart.
+
+Registering an additional scheduler (e.g. a test double) is just a dict
+insert: ``ALGORITHMS["mine"] = MyScheduler``.
+"""
+
+from __future__ import annotations
+
+from .baselines.gang import GangScheduler
+from .baselines.ludwig import LudwigScheduler
+from .baselines.sequential import SequentialLPTScheduler
+from .baselines.turek import TurekScheduler
+from .core.mrt import MRTScheduler
+from .exceptions import ModelError
+from .scheduler import Scheduler
+
+__all__ = ["ALGORITHMS", "make_scheduler"]
+
+#: Algorithm name -> scheduler factory (callable returning a Scheduler).
+ALGORITHMS: dict[str, type | object] = {
+    "mrt": MRTScheduler,
+    "ludwig": LudwigScheduler,
+    "turek": TurekScheduler,
+    "sequential": SequentialLPTScheduler,
+    "gang": GangScheduler,
+}
+
+
+def make_scheduler(name: str, params: dict | None = None) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``.
+
+    ``params`` are passed to the factory as keyword arguments (e.g.
+    ``{"eps": 1e-2}`` for ``mrt``).  Raises
+    :class:`~repro.exceptions.ModelError` on an unknown name or on keyword
+    arguments the factory rejects, so service callers get a clean 400 instead
+    of a stack trace.
+    """
+    factory = ALGORITHMS.get(name)
+    if factory is None:
+        raise ModelError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    try:
+        return factory(**(params or {}))  # type: ignore[operator]
+    except TypeError as exc:
+        raise ModelError(f"invalid parameters for algorithm {name!r}: {exc}") from exc

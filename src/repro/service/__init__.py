@@ -1,0 +1,46 @@
+"""Scheduling-as-a-service layer.
+
+Turns the package's one-shot schedulers into a long-lived serving stack:
+
+* :class:`~repro.service.core.SchedulerService` — in-process facade with a
+  micro-batching request queue, a worker pool (shared dispatch machinery
+  with the experiment harness) and an LRU+TTL result cache keyed by
+  :meth:`Instance.fingerprint() <repro.model.instance.Instance.fingerprint>`;
+* :mod:`~repro.service.server` — stdlib ``http.server`` JSON frontend
+  (``POST /schedule``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`~repro.service.client` — ``urllib`` client;
+* :mod:`~repro.service.loadtest` — cold/warm load generator used by
+  ``python -m repro loadtest`` and the service throughput benchmark.
+"""
+
+from .cache import CacheStats, LRUTTLCache, MISS
+from .client import ServiceClient, ServiceHTTPError
+from .core import (
+    ScheduleRequest,
+    SchedulerService,
+    canonical_json,
+    compute_response,
+    payload_fingerprint,
+    request_from_payload,
+)
+from .loadtest import build_workload_payloads, run_loadtest
+from .server import ServiceHTTPServer, make_server, start_background_server
+
+__all__ = [
+    "CacheStats",
+    "LRUTTLCache",
+    "MISS",
+    "ScheduleRequest",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceHTTPServer",
+    "build_workload_payloads",
+    "canonical_json",
+    "compute_response",
+    "make_server",
+    "payload_fingerprint",
+    "request_from_payload",
+    "run_loadtest",
+    "start_background_server",
+]

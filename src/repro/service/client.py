@@ -1,0 +1,101 @@
+"""Minimal stdlib HTTP client for the scheduling service.
+
+Used by the load generator, the CLI ``loadtest`` subcommand, the CI smoke
+test and the service benchmark — anything that talks to a running
+``python -m repro serve``.  Only ``urllib.request`` + ``json``; no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..model.instance import Instance
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(RuntimeError):
+    """Non-2xx response from the service, with the decoded error payload."""
+
+    def __init__(self, status: int, payload: dict | None, url: str) -> None:
+        message = (payload or {}).get("error", "<no error payload>")
+        super().__init__(f"HTTP {status} from {url}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+            except (json.JSONDecodeError, ValueError):
+                body = None
+            raise ServiceHTTPError(exc.code, body, url) from exc
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    def shutdown(self) -> dict:
+        return self._request("/shutdown", payload={})
+
+    def schedule_payload(self, payload: dict) -> dict:
+        """POST a raw ``/schedule`` body (already in wire shape)."""
+        return self._request("/schedule", payload=payload)
+
+    def schedule(
+        self,
+        instance: Instance | dict | None = None,
+        *,
+        generate: dict | None = None,
+        algorithm: str = "mrt",
+        params: dict | None = None,
+        validate: bool = False,
+    ) -> dict:
+        """Schedule one instance (explicit or server-generated).
+
+        ``instance`` may be an :class:`~repro.model.instance.Instance` or its
+        ``as_dict`` payload; alternatively pass a ``generate`` spec to have
+        the server synthesise the workload.
+        """
+        if (instance is None) == (generate is None):
+            raise ValueError("pass exactly one of instance or generate")
+        body: dict[str, Any] = {"algorithm": algorithm, "validate": validate}
+        if params:
+            body["params"] = params
+        if instance is not None:
+            body["instance"] = (
+                instance.as_dict() if isinstance(instance, Instance) else instance
+            )
+        else:
+            body["generate"] = generate
+        return self.schedule_payload(body)

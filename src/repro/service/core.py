@@ -1,0 +1,501 @@
+"""In-process scheduling service: micro-batching, worker dispatch, caching.
+
+:class:`SchedulerService` is the serving-layer facade over the package's
+schedulers.  Requests (:class:`ScheduleRequest`) enter a bounded queue; a
+dispatcher thread drains them in *micro-batches* (up to ``batch_size``
+requests, waiting at most ``batch_wait`` seconds for stragglers), groups
+each batch by cache key, answers hits straight from the
+:class:`~repro.service.cache.LRUTTLCache`, collapses duplicate in-batch
+requests into a single computation, and fans the distinct misses out over a
+worker pool built by :func:`repro.analysis.experiments.make_pool` — the same
+process→thread fallback machinery that powers ``compare --workers``.
+
+The cache key is ``(Instance.fingerprint(), algorithm, canonical params
+JSON, validate)``: instances repeat in real workloads (same job mix,
+different labels), so a content hash turns the allotment engine's cached
+replay speedup into end-to-end service throughput.
+
+Everything here is synchronous-friendly: :meth:`SchedulerService.submit`
+returns a :class:`concurrent.futures.Future`, :meth:`SchedulerService.schedule`
+blocks for the response dict.  The HTTP frontend in
+:mod:`repro.service.server` is a thin translation layer over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..analysis.experiments import make_pool
+from ..exceptions import ModelError, ServiceOverloadedError
+from ..model.instance import Instance, profile_fingerprint
+from ..registry import make_scheduler
+from ..sim.validate import simulate_and_check
+from ..workloads.generators import WORKLOAD_FAMILIES, make_workload
+from ..workloads.ocean import ocean_instance
+from .cache import MISS, LRUTTLCache
+
+__all__ = [
+    "ScheduleRequest",
+    "SchedulerService",
+    "canonical_json",
+    "compute_response",
+    "payload_fingerprint",
+    "request_from_payload",
+]
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON encoding (sorted keys, no whitespace).
+
+    Equal payloads encode to equal bytes, which makes JSON strings usable as
+    cache-key components and lets the benchmark assert byte-identity between
+    service responses and direct scheduler calls.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One scheduling request as seen by the service.
+
+    ``instance`` is either a materialised :class:`Instance` or its raw
+    ``as_dict`` payload.  The raw form is the service hot path: the HTTP
+    frontend fingerprints the payload directly
+    (:func:`payload_fingerprint`), so a cache hit never pays for instance
+    construction — the ``Instance`` is only built inside a worker on a miss.
+    A dict ``instance`` must come with its precomputed ``fingerprint``
+    (:func:`request_from_payload` guarantees this).
+    """
+
+    instance: Instance | dict
+    algorithm: str = "mrt"
+    params: dict = field(default_factory=dict)
+    validate: bool = False
+    fingerprint: str | None = None
+
+    def instance_fingerprint(self) -> str:
+        if isinstance(self.instance, Instance):
+            return self.instance.fingerprint()
+        if self.fingerprint is None:
+            raise ModelError("raw-payload request without a precomputed fingerprint")
+        return self.fingerprint
+
+    def cache_key(self) -> tuple[str, str, str, bool]:
+        """Content-addressed key: fingerprint + algorithm + params + validate."""
+        return (
+            self.instance_fingerprint(),
+            self.algorithm,
+            canonical_json(self.params),
+            self.validate,
+        )
+
+
+def payload_fingerprint(payload: dict) -> str | None:
+    """Fingerprint an ``Instance.as_dict`` payload without building it.
+
+    Mirrors :meth:`Instance.fingerprint` exactly for well-formed payloads
+    (the constructor truncates every profile to ``num_procs`` columns, so the
+    same truncation is applied here).  Returns ``None`` when the payload does
+    not have the expected shape — callers then fall back to full
+    :meth:`Instance.from_dict` construction, which raises the proper
+    :class:`~repro.exceptions.ModelError`.
+    """
+    try:
+        m = int(payload["num_procs"])
+        tasks = payload["tasks"]
+        if m < 1 or not isinstance(tasks, list) or not tasks:
+            return None
+        rows = []
+        for task in tasks:
+            times = task["times"]
+            if not isinstance(times, (list, tuple)) or len(times) < m:
+                return None
+            # Validate the FULL profile (as MalleableTask would), not just
+            # the truncated columns: otherwise a payload with garbage beyond
+            # column m would 400 on a cold cache yet 200 on a warm one.
+            full = np.asarray(times, dtype=float)
+            if full.ndim != 1 or not np.all(np.isfinite(full)) or np.any(full <= 0):
+                return None
+            rows.append(full[:m])
+        matrix = np.asarray(rows, dtype=float)
+    except (KeyError, TypeError, ValueError):
+        return None
+    return profile_fingerprint(m, matrix)
+
+
+def request_from_payload(payload: dict) -> ScheduleRequest:
+    """Build a :class:`ScheduleRequest` from a decoded JSON request body.
+
+    The body carries either an explicit ``"instance"`` (the
+    :meth:`Instance.as_dict` shape) or a ``"generate"`` spec
+    (``{"family", "tasks", "procs", "seed"}``; family ``"ocean"`` maps to the
+    ocean-circulation workload).  Optional fields: ``"algorithm"`` (default
+    ``"mrt"``), ``"params"`` (keyword arguments for the scheduler factory)
+    and ``"validate"`` (run :func:`repro.sim.validate.simulate_and_check` on
+    the produced schedule).  Raises :class:`~repro.exceptions.ModelError` on
+    malformed input so frontends can map it to a 400.
+    """
+    if not isinstance(payload, dict):
+        raise ModelError("request body must be a JSON object")
+    if ("instance" in payload) == ("generate" in payload):
+        raise ModelError("request must carry exactly one of 'instance' or 'generate'")
+    fingerprint: str | None = None
+    try:
+        if "instance" in payload:
+            # Hot path: fingerprint the raw payload; materialise the Instance
+            # lazily (in a worker, only on a cache miss).  Payloads the fast
+            # fingerprint cannot handle are materialised here so malformed
+            # input fails with a ModelError at parse time.
+            instance: Instance | dict = payload["instance"]
+            fingerprint = payload_fingerprint(instance) if isinstance(instance, dict) else None
+            if fingerprint is None:
+                instance = Instance.from_dict(instance)
+        else:
+            spec = payload["generate"]
+            if not isinstance(spec, dict):
+                raise ModelError("'generate' must be an object")
+            family = spec.get("family", "mixed")
+            procs = int(spec.get("procs", 16))
+            seed = int(spec.get("seed", 0))
+            if family == "ocean":
+                instance = ocean_instance(procs, seed=seed)
+            elif family in WORKLOAD_FAMILIES:
+                instance = make_workload(
+                    family, int(spec.get("tasks", 32)), procs, seed=seed
+                )
+            else:
+                raise ModelError(
+                    f"unknown workload family {family!r}; choose from "
+                    f"{sorted(WORKLOAD_FAMILIES) + ['ocean']}"
+                )
+    except ModelError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(f"malformed request: {exc}") from exc
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ModelError("'params' must be an object")
+    algorithm = payload.get("algorithm", "mrt")
+    if not isinstance(algorithm, str):
+        raise ModelError("'algorithm' must be a string")
+    return ScheduleRequest(
+        instance=instance,
+        algorithm=algorithm,
+        params=params,
+        validate=bool(payload.get("validate", False)),
+        fingerprint=fingerprint,
+    )
+
+
+def compute_response(
+    instance: Instance | dict, algorithm: str, params: dict, validate: bool
+) -> dict:
+    """Run the scheduler and build the cacheable response payload.
+
+    Module-level (hence picklable) so it can execute on either a thread or a
+    process pool.  ``instance`` may still be a raw payload dict (the lazy
+    hot path); it is materialised here, on the worker, so parsing cost is
+    only ever paid on a cache miss.  The ``"result"`` sub-object is a pure
+    function of the request content — deterministic schedulers make a cached
+    replay byte-identical (under :func:`canonical_json`) to a direct
+    ``Scheduler.schedule()`` call.
+    """
+    if isinstance(instance, dict):
+        instance = Instance.from_dict(instance)
+    scheduler = make_scheduler(algorithm, params)
+    schedule = scheduler.schedule(instance)
+    payload: dict = {
+        "result": {
+            "algorithm": schedule.algorithm or scheduler.name,
+            "makespan": schedule.makespan(),
+            "num_tasks": instance.num_tasks,
+            "num_procs": instance.num_procs,
+            "schedule": schedule.as_dict(),
+        },
+        "fingerprint": instance.fingerprint(),
+        "validation": None,
+    }
+    if validate:
+        sim = simulate_and_check(schedule)
+        payload["validation"] = {
+            "simulated_makespan": sim.makespan,
+            "utilization": sim.utilization,
+            "events": len(sim.events),
+        }
+    return payload
+
+
+@dataclass
+class _Pending:
+    """A queued request with its future and enqueue timestamp."""
+
+    request: ScheduleRequest
+    key: tuple
+    future: Future
+    enqueued: float
+
+
+_SHUTDOWN = object()
+
+
+class SchedulerService:
+    """Micro-batching scheduling service with a fingerprint result cache.
+
+    Parameters
+    ----------
+    workers:
+        Worker pool size (default: up to 4, bounded by the CPU count).
+    prefer:
+        ``"thread"`` (default — no per-request pickling, shares the
+        allotment-engine caches) or ``"process"`` (real parallelism for
+        CPU-heavy mixes; falls back to threads in restricted sandboxes).
+    batch_size / batch_wait:
+        Micro-batch bounds.  The dispatcher blocks for the first request,
+        then drains whatever else is already queued (up to ``batch_size``) —
+        under load, requests pile up while the previous batch is served, so
+        batches form naturally without delaying an idle queue.  A positive
+        ``batch_wait`` additionally holds the batch open up to that many
+        seconds for stragglers, which buys more in-batch deduplication of
+        identical requests at the cost of added hit latency; the default is
+        0 (never wait).
+    cache_capacity / cache_ttl:
+        LRU capacity and optional TTL (seconds) of the result cache.
+    max_pending:
+        Backpressure bound on in-flight requests; beyond it
+        :meth:`submit` raises :class:`~repro.exceptions.ServiceOverloadedError`.
+    clock:
+        Time source for the cache TTL (injectable for tests).
+    autostart:
+        Start the dispatcher thread immediately (tests drive
+        :meth:`_handle_batch` directly with ``autostart=False``).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        prefer: str = "thread",
+        batch_size: int = 32,
+        batch_wait: float = 0.0,
+        cache_capacity: int = 2048,
+        cache_ttl: float | None = None,
+        max_pending: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+        autostart: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.workers = workers or max(2, min(4, os.cpu_count() or 2))
+        self.batch_size = int(batch_size)
+        self.batch_wait = float(batch_wait)
+        self.max_pending = int(max_pending)
+        self.cache = LRUTTLCache(cache_capacity, ttl=cache_ttl, clock=clock)
+        self._pool, self.pool_kind = make_pool(self.workers, prefer=prefer)
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._requests_total = 0
+        self._rejections = 0
+        self._batches = 0
+        self._deduped = 0
+        self._latencies_ms: deque[float] = deque(maxlen=4096)
+        self._started = time.monotonic()
+        self._closed = False
+        self._dispatcher: threading.Thread | None = None
+        if autostart:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="scheduler-service-dispatch", daemon=True
+            )
+            self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def submit(self, request: ScheduleRequest) -> Future:
+        """Enqueue a request; returns a future resolving to the response dict.
+
+        The response is the :func:`compute_response` payload plus per-request
+        metadata: ``"cache_hit"`` and ``"elapsed_ms"`` (queue + compute time
+        as observed by the service).  Raises
+        :class:`~repro.exceptions.ServiceOverloadedError` when ``max_pending``
+        requests are already in flight.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        # Key computation can raise (raw-dict request without a fingerprint);
+        # it must happen before a backpressure slot is taken or the slot
+        # would leak and eventually wedge the service at max_pending.
+        key = request.cache_key()
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self._rejections += 1
+                raise ServiceOverloadedError(
+                    f"{self._pending} requests in flight (max_pending="
+                    f"{self.max_pending}); retry later"
+                )
+            self._pending += 1
+            self._requests_total += 1
+        pending = _Pending(
+            request=request,
+            key=key,
+            future=Future(),
+            enqueued=time.perf_counter(),
+        )
+        self._queue.put(pending)
+        return pending.future
+
+    def schedule(self, request: ScheduleRequest, *, timeout: float | None = None) -> dict:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(request).result(timeout=timeout)
+
+    def metrics(self) -> dict:
+        """Service counters in the shape served by ``GET /metrics``."""
+        with self._lock:
+            latencies = sorted(self._latencies_ms)
+            pending = self._pending
+            snapshot = {
+                "requests_total": self._requests_total,
+                "rejections": self._rejections,
+                "batches": self._batches,
+                "deduped_in_batch": self._deduped,
+            }
+        if latencies:
+            lat = {
+                "count": len(latencies),
+                "p50_ms": float(np.percentile(latencies, 50)),
+                "p99_ms": float(np.percentile(latencies, 99)),
+            }
+        else:
+            lat = {"count": 0, "p50_ms": None, "p99_ms": None}
+        return {
+            **snapshot,
+            "queue_depth": pending,
+            "cache": {**self.cache.stats.as_dict(), "size": len(self.cache)},
+            "latency": lat,
+            "workers": self.workers,
+            "pool": self.pool_kind,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop the dispatcher and shut the worker pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._dispatcher is not None:
+            self._queue.put(_SHUTDOWN)
+            if wait:
+                self._dispatcher.join(timeout=10.0)
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SchedulerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.batch_wait
+            while len(batch) < self.batch_size:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if item is _SHUTDOWN:
+                    self._handle_batch(batch)
+                    return
+                batch.append(item)
+            self._handle_batch(batch)
+
+    def _handle_batch(self, batch: list[_Pending]) -> None:
+        """Serve one micro-batch: group by key, answer hits, fan misses out.
+
+        Duplicate keys inside the batch collapse into a single computation
+        whose result resolves every waiter (and seeds the cache for later
+        replays) — the amortisation that makes batching worthwhile for a
+        combinatorial kernel with repeating inputs.
+        """
+        with self._lock:
+            self._batches += 1
+        groups: dict[tuple, list[_Pending]] = {}
+        for item in batch:
+            groups.setdefault(item.key, []).append(item)
+        for key, group in groups.items():
+            cached = self.cache.get(key)
+            if cached is not MISS:
+                for item in group:
+                    self._resolve(item, cached, cache_hit=True)
+                continue
+            if len(group) > 1:
+                with self._lock:
+                    self._deduped += len(group) - 1
+            head = group[0].request
+            try:
+                future = self._pool.submit(
+                    compute_response,
+                    head.instance,
+                    head.algorithm,
+                    head.params,
+                    head.validate,
+                )
+            except Exception as exc:  # pool already shut down, etc.
+                self._fail(group, exc)
+                continue
+            future.add_done_callback(
+                lambda f, key=key, group=group: self._on_computed(key, group, f)
+            )
+
+    def _on_computed(self, key: tuple, group: list[_Pending], future: Future) -> None:
+        try:
+            payload = future.result()
+        except Exception as exc:
+            self._fail(group, exc)
+            return
+        self.cache.put(key, payload)
+        for item in group:
+            self._resolve(item, payload, cache_hit=False)
+
+    def _resolve(self, item: _Pending, payload: dict, *, cache_hit: bool) -> None:
+        elapsed_ms = (time.perf_counter() - item.enqueued) * 1e3
+        with self._lock:
+            self._pending -= 1
+            self._latencies_ms.append(elapsed_ms)
+        response = dict(payload)  # shallow: "result" is shared and read-only
+        response["cache_hit"] = cache_hit
+        response["elapsed_ms"] = elapsed_ms
+        item.future.set_result(response)
+
+    def _fail(self, group: list[_Pending], exc: BaseException) -> None:
+        with self._lock:
+            self._pending -= len(group)
+        for item in group:
+            item.future.set_exception(exc)

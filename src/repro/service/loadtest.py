@@ -1,0 +1,228 @@
+"""Load generator for the scheduling service.
+
+Drives a running service over HTTP with a mixed workload — fresh instances
+from the synthetic generator families plus deterministic adversarial
+instances — in two phases:
+
+* **cold** — every instance in the pool is requested once (cache misses on a
+  fresh server);
+* **warm** — the same pool is replayed ``repeats`` times (fingerprint cache
+  hits), which is where the content-addressed cache turns the allotment
+  engine's cached-replay speedup into end-to-end throughput.
+
+Besides throughput and client-side latency percentiles, the run cross-checks
+*correctness under caching*: every replayed response must carry a ``result``
+payload byte-identical (canonical JSON) to the first response for the same
+instance.  Used by ``python -m repro loadtest`` and by
+``benchmarks/bench_service_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..workloads.adversarial import fragmentation_instance, lpt_worst_case_instance
+from ..workloads.generators import make_workload
+from .client import ServiceClient, ServiceHTTPError
+from .core import canonical_json
+
+__all__ = ["PhaseStats", "build_workload_payloads", "run_loadtest"]
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate measurements of one load-test phase."""
+
+    name: str
+    requests: int
+    errors: int
+    seconds: float
+    cache_hits: int
+    p50_ms: float
+    p99_ms: float
+
+    @property
+    def rps(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "rps": self.rps,
+            "cache_hits": self.cache_hits,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+def build_workload_payloads(
+    *,
+    families: Sequence[str] = ("mixed", "uniform"),
+    instances: int = 8,
+    tasks: int = 30,
+    procs: int = 16,
+    seed: int = 0,
+    algorithm: str = "mrt",
+    params: dict | None = None,
+    validate: bool = False,
+    include_adversarial: bool = True,
+) -> list[dict]:
+    """Build the ``POST /schedule`` bodies of the mixed instance pool.
+
+    ``instances`` synthetic instances are drawn round-robin from
+    ``families`` (distinct seeds, so the cold phase is all fresh content);
+    with ``include_adversarial`` the deterministic fragmentation and
+    LPT-worst-case instances join the pool.  Instances are embedded
+    explicitly (``as_dict``) so a replayed payload carries bit-identical
+    profiles and therefore the same fingerprint.
+    """
+    pool = []
+    for i in range(instances):
+        family = families[i % len(families)]
+        pool.append(make_workload(family, tasks, procs, seed=seed + i))
+    if include_adversarial:
+        pool.append(fragmentation_instance(procs))
+        pool.append(lpt_worst_case_instance(procs))
+    payloads = []
+    for inst in pool:
+        body: dict = {"algorithm": algorithm, "instance": inst.as_dict()}
+        if params:
+            body["params"] = params
+        if validate:
+            body["validate"] = True
+        payloads.append(body)
+    return payloads
+
+
+def _run_phase(
+    client: ServiceClient,
+    payloads: Sequence[dict],
+    *,
+    name: str,
+    concurrency: int,
+) -> tuple[PhaseStats, list[dict | None]]:
+    """Fire every payload once through ``concurrency`` client threads."""
+
+    responses: list[dict | None] = [None] * len(payloads)
+
+    def fire(index: int) -> float | None:
+        """Returns the request latency in ms, or ``None`` on error."""
+        start = time.perf_counter()
+        try:
+            responses[index] = client.schedule_payload(payloads[index])
+        except (ServiceHTTPError, OSError):
+            return None
+        return (time.perf_counter() - start) * 1e3
+
+    start = time.perf_counter()
+    if concurrency > 1:
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            outcomes = list(pool.map(fire, range(len(payloads))))
+    else:
+        outcomes = [fire(index) for index in range(len(payloads))]
+    seconds = time.perf_counter() - start
+    latencies_ms = [ms for ms in outcomes if ms is not None]
+    errors = sum(1 for ms in outcomes if ms is None)
+    hits = sum(1 for r in responses if r is not None and r.get("cache_hit"))
+    stats = PhaseStats(
+        name=name,
+        requests=len(payloads),
+        errors=errors,
+        seconds=seconds,
+        cache_hits=hits,
+        p50_ms=float(np.percentile(latencies_ms, 50)) if latencies_ms else 0.0,
+        p99_ms=float(np.percentile(latencies_ms, 99)) if latencies_ms else 0.0,
+    )
+    return stats, responses
+
+
+def run_loadtest(
+    base_url: str,
+    *,
+    families: Sequence[str] = ("mixed", "uniform"),
+    instances: int = 8,
+    tasks: int = 30,
+    procs: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+    concurrency: int = 4,
+    algorithm: str = "mrt",
+    params: dict | None = None,
+    validate: bool = False,
+    include_adversarial: bool = True,
+    client_timeout: float = 300.0,
+) -> dict:
+    """Run the cold/warm load test against ``base_url``; returns a report dict.
+
+    The report carries both phases (:class:`PhaseStats` shapes), the
+    warm-over-cold throughput ``speedup``, a ``consistent`` flag (every warm
+    ``result`` byte-identical to its cold counterpart under canonical JSON)
+    and the server's own ``/metrics`` snapshot.
+    """
+    client = ServiceClient(base_url, timeout=client_timeout)
+    payloads = build_workload_payloads(
+        families=families,
+        instances=instances,
+        tasks=tasks,
+        procs=procs,
+        seed=seed,
+        algorithm=algorithm,
+        params=params,
+        validate=validate,
+        include_adversarial=include_adversarial,
+    )
+    cold, cold_responses = _run_phase(
+        client, payloads, name="cold", concurrency=concurrency
+    )
+    reference = [
+        canonical_json(r["result"]) if r is not None else None for r in cold_responses
+    ]
+    warm_stats: list[PhaseStats] = []
+    consistent = True
+    for _ in range(repeats):
+        stats, responses = _run_phase(
+            client, payloads, name="warm", concurrency=concurrency
+        )
+        warm_stats.append(stats)
+        for ref, resp in zip(reference, responses):
+            if ref is not None and resp is not None:
+                consistent = consistent and canonical_json(resp["result"]) == ref
+    warm = PhaseStats(
+        name="warm",
+        requests=sum(s.requests for s in warm_stats),
+        errors=sum(s.errors for s in warm_stats),
+        seconds=sum(s.seconds for s in warm_stats),
+        cache_hits=sum(s.cache_hits for s in warm_stats),
+        p50_ms=float(np.median([s.p50_ms for s in warm_stats])) if warm_stats else 0.0,
+        p99_ms=float(max(s.p99_ms for s in warm_stats)) if warm_stats else 0.0,
+    )
+    return {
+        "config": {
+            "base_url": base_url,
+            "families": list(families),
+            "instances": instances,
+            "tasks": tasks,
+            "procs": procs,
+            "seed": seed,
+            "repeats": repeats,
+            "concurrency": concurrency,
+            "algorithm": algorithm,
+            "params": params or {},
+            "validate": validate,
+            "include_adversarial": include_adversarial,
+            "pool_size": len(payloads),
+        },
+        "cold": cold.as_dict(),
+        "warm": warm.as_dict(),
+        "speedup": (warm.rps / cold.rps) if cold.rps > 0 else float("inf"),
+        "consistent": consistent,
+        "server_metrics": client.metrics(),
+    }

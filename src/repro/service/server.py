@@ -1,0 +1,204 @@
+"""Stdlib HTTP frontend for :class:`~repro.service.core.SchedulerService`.
+
+A :class:`http.server.ThreadingHTTPServer` (one thread per connection, JSON
+bodies) exposing:
+
+``POST /schedule``
+    Body: ``{"algorithm", "instance" | "generate", "params", "validate"}``
+    (see :func:`repro.service.core.request_from_payload`).  Returns the
+    response payload of :func:`repro.service.core.compute_response` plus
+    ``"cache_hit"`` and ``"elapsed_ms"``.  Malformed input → 400; service
+    backpressure → 503; internal scheduling failures → 500.
+``GET /healthz``
+    Liveness probe: ``{"status": "ok", "uptime_seconds": ...}``.
+``GET /metrics``
+    The :meth:`SchedulerService.metrics` JSON (request counts, cache
+    hit/miss, latency percentiles, queue depth, rejections).
+``POST /shutdown``
+    Graceful stop — only honoured when the server was created with
+    ``allow_shutdown=True`` (tests, CI smoke jobs, self-hosted load tests);
+    403 otherwise.
+
+No third-party dependencies: the whole frontend is ``http.server`` +
+``json``, matching the repo's stdlib-only constraint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..exceptions import ModelError, ReproError, ServiceOverloadedError
+from .core import SchedulerService, request_from_payload
+
+__all__ = ["ServiceHTTPServer", "make_server", "start_background_server"]
+
+#: Refuse request bodies larger than this (64 MiB) — a crude but effective
+#: guard against memory exhaustion from a single client.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ModelError("missing or empty request body")
+        if length > MAX_BODY_BYTES:
+            raise ModelError(f"request body larger than {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_seconds": time.monotonic() - self.server.started,
+                },
+            )
+        elif self.path == "/metrics":
+            self._send_json(200, self.server.service.metrics())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path == "/schedule":
+            self._handle_schedule()
+        elif self.path == "/shutdown":
+            self._handle_shutdown()
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_schedule(self) -> None:
+        try:
+            request = request_from_payload(self._read_json())
+            response = self.server.service.schedule(
+                request, timeout=self.server.request_timeout
+            )
+        except ModelError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except ServiceOverloadedError as exc:
+            self._send_json(503, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        except (TimeoutError, FuturesTimeoutError):
+            # Distinct classes on Python 3.10, aliases from 3.11 on.
+            self._send_json(504, {"error": "scheduling request timed out"})
+        except Exception as exc:  # noqa: BLE001 — never drop the connection
+            # Anything unexpected (a user-registered scheduler raising a
+            # non-ReproError, submit() during shutdown, ...) must still come
+            # back as the documented 500 instead of a reset socket.
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, response)
+
+    def _handle_shutdown(self) -> None:
+        if not self.server.allow_shutdown:
+            self._send_json(403, {"error": "shutdown endpoint disabled"})
+            return
+        self._send_json(200, {"status": "shutting down"})
+        # ``shutdown`` blocks until ``serve_forever`` exits, so it must run
+        # off this handler thread (which still has to finish the response).
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`SchedulerService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: SchedulerService,
+        *,
+        allow_shutdown: bool = False,
+        request_timeout: float | None = 300.0,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.allow_shutdown = allow_shutdown
+        self.request_timeout = request_timeout
+        self.verbose = verbose
+        self.started = time.monotonic()
+        self._serve_started = False
+
+    def serve_forever(self, *args, **kwargs) -> None:
+        self._serve_started = True
+        super().serve_forever(*args, **kwargs)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Full teardown: stop serving, release the socket, close the service.
+
+        Safe in every lifecycle state: ``shutdown`` is only invoked when the
+        serve loop has actually been entered (it would block forever on a
+        server whose ``serve_forever`` never ran), and it returns immediately
+        when the loop has already exited.
+        """
+        if self._serve_started:
+            self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: SchedulerService | None = None,
+    **server_kwargs,
+) -> ServiceHTTPServer:
+    """Bind a service server (``port=0`` picks an ephemeral port)."""
+    return ServiceHTTPServer((host, port), service or SchedulerService(), **server_kwargs)
+
+
+def start_background_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: SchedulerService | None = None,
+    **server_kwargs,
+) -> tuple[ServiceHTTPServer, threading.Thread]:
+    """Start a server on a daemon thread; returns ``(server, thread)``.
+
+    Used by the self-hosted load-test mode, the CLI tests and the benchmark.
+    Stop it with ``server.close()``.
+    """
+    server = make_server(host, port, service, **server_kwargs)
+    thread = threading.Thread(
+        target=server.serve_forever, name="scheduler-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -40,6 +40,10 @@ class SimulationResult:
     events: list[Event] = field(default_factory=list)
     busy_time: np.ndarray | None = None
     num_procs: int = 0
+    #: Simulated completion time of the last task on each processor (0.0 for
+    #: processors that never ran a task).  Lets validators pinpoint *where*
+    #: the simulated execution diverges from a schedule's static view.
+    finish_time: np.ndarray | None = None
 
     @property
     def utilization(self) -> float:
@@ -93,6 +97,7 @@ def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationRes
     events.sort()
     owner = np.full(m, -1, dtype=int)  # task currently running on each processor
     busy = np.zeros(m)
+    finish = np.zeros(m)
     makespan = 0.0
     processed: list[Event] = []
     for event in events:
@@ -104,6 +109,7 @@ def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationRes
                         f"which it does not own"
                     )
                 owner[proc] = -1
+                finish[proc] = max(finish[proc], event.time)
             makespan = max(makespan, event.time)
         else:
             for proc in event.procs:
@@ -121,7 +127,11 @@ def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationRes
     if np.any(owner != -1):
         raise InvalidScheduleError("simulation ended with tasks still running")
     return SimulationResult(
-        makespan=makespan, events=processed, busy_time=busy, num_procs=m
+        makespan=makespan,
+        events=processed,
+        busy_time=busy,
+        num_procs=m,
+        finish_time=finish,
     )
 
 

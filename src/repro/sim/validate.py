@@ -14,14 +14,34 @@ def simulate_and_check(schedule: Schedule, *, tol: float = 1e-6) -> SimulationRe
 
     Returns the :class:`~repro.sim.engine.SimulationResult`; raises
     :class:`~repro.exceptions.InvalidScheduleError` when the static and
-    simulated views disagree.
+    simulated views disagree.  The error pinpoints *where* they diverge: the
+    per-processor finish times of the static schedule are compared against
+    the simulated ones and every disagreeing processor is reported with both
+    times (capped at the first three), falling back to the global makespans
+    when the divergence is not attributable to a single processor.
     """
     schedule.validate()
     result = simulate_schedule(schedule)
     static = schedule.makespan()
     if abs(result.makespan - static) > tol * max(1.0, static):
+        static_finish = schedule.processor_finish_times()
+        detail = ""
+        if result.finish_time is not None:
+            mismatches = [
+                (proc, float(static_finish[proc]), float(result.finish_time[proc]))
+                for proc in range(len(static_finish))
+                if abs(static_finish[proc] - result.finish_time[proc])
+                > tol * max(1.0, static)
+            ]
+            if mismatches:
+                shown = "; ".join(
+                    f"processor {proc}: static finish {s:.6g} vs simulated {r:.6g}"
+                    for proc, s, r in mismatches[:3]
+                )
+                extra = len(mismatches) - 3
+                detail = f" ({shown}" + (f"; +{extra} more)" if extra > 0 else ")")
         raise InvalidScheduleError(
             f"simulated makespan {result.makespan:.6g} differs from the static "
-            f"makespan {static:.6g}"
+            f"makespan {static:.6g}{detail}"
         )
     return result

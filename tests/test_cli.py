@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 import pytest
 
@@ -99,3 +101,76 @@ class TestCompareAndMstar:
         out = capsys.readouterr().out
         assert "m*" in out
         assert "anchor" in out
+
+
+class TestServe:
+    def test_serve_round_trip_and_clean_shutdown(self, tmp_path):
+        """Start the server on an ephemeral port, do one request, shut down."""
+        from repro.service import ServiceClient
+        from repro.workloads.generators import make_workload
+
+        ready = tmp_path / "ready"
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve",
+                        "--port",
+                        "0",
+                        "--allow-shutdown",
+                        "--ready-file",
+                        str(ready),
+                        "--workers",
+                        "2",
+                    ]
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert ready.exists(), "server never wrote the ready file"
+        host, port = ready.read_text().split()
+        client = ServiceClient(f"http://{host}:{port}")
+        assert client.healthz()["status"] == "ok"
+        instance = make_workload("uniform", 4, 4, seed=1)
+        response = client.schedule(instance)
+        assert response["result"]["makespan"] > 0
+        assert client.schedule(instance)["cache_hit"] is True
+        client.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "serve did not exit after /shutdown"
+        assert codes == [0]
+
+
+class TestLoadtest:
+    def test_self_hosted_loadtest(self, capsys):
+        code = main(
+            [
+                "loadtest",
+                "--instances",
+                "2",
+                "--tasks",
+                "5",
+                "--procs",
+                "4",
+                "--repeats",
+                "1",
+                "--concurrency",
+                "2",
+                "--no-adversarial",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warm/cold throughput speedup" in out
+        assert "responses consistent: True" in out
+        bench_lines = [l for l in out.splitlines() if l.startswith("BENCH ")]
+        assert len(bench_lines) == 1
+        report = json.loads(bench_lines[0][len("BENCH "):])
+        assert report["warm"]["cache_hits"] == report["warm"]["requests"]
+        assert report["cold"]["errors"] == 0

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import Instance, MalleableTask, ModelError
 
@@ -161,3 +163,88 @@ class TestTransformations:
         assert clone.num_procs == small_instance.num_procs
         for a, b in zip(clone.tasks, small_instance.tasks):
             assert np.allclose(a.times, b.times)
+
+
+class TestSerializationBitExact:
+    """Property tests: JSON round-trips are bit-exact on float profiles.
+
+    Python's ``json`` serialises floats with their shortest round-trip
+    ``repr``, so ``from_json(to_json(inst))`` must restore the *identical*
+    ``float64`` bits — which is what makes :meth:`Instance.fingerprint`
+    stable across the service wire format.
+    """
+
+    # Magnitudes follow the existing property tests: the monotonic-envelope
+    # repair itself (not serialisation) uses an absolute EPS and degrades on
+    # 1e12-scale profiles; extreme magnitudes are pinned separately below
+    # with trivially monotonic rigid profiles.
+    profiles = st.lists(
+        st.lists(
+            st.floats(
+                min_value=0.01,
+                max_value=100.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+
+    @staticmethod
+    def _instance_from(raw: list[list[float]]) -> Instance:
+        width = min(len(row) for row in raw)
+        tasks = [
+            MalleableTask.monotonic_envelope(f"T{i}", row[:width])
+            for i, row in enumerate(raw)
+        ]
+        return Instance(tasks, width)
+
+    @given(profiles)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_bits_and_fingerprint(self, raw):
+        inst = self._instance_from(raw)
+        clone = Instance.from_json(inst.to_json())
+        assert clone.num_procs == inst.num_procs
+        for a, b in zip(clone.tasks, inst.tasks):
+            assert a.times.tobytes() == b.times.tobytes()  # bit-exact
+        assert clone.times_matrix.tobytes() == inst.times_matrix.tobytes()
+        assert clone.fingerprint() == inst.fingerprint()
+        # as_dict/from_dict is the same path without the JSON text stage.
+        assert Instance.from_dict(inst.as_dict()).fingerprint() == inst.fingerprint()
+        # Canonical JSON: equal content serialises to equal bytes.
+        assert clone.to_json() == inst.to_json()
+
+    @given(profiles)
+    @settings(max_examples=30, deadline=None)
+    def test_payload_fingerprint_agrees(self, raw):
+        from repro.service import payload_fingerprint
+
+        inst = self._instance_from(raw)
+        assert payload_fingerprint(inst.as_dict()) == inst.fingerprint()
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=1e-12,
+                max_value=1e15,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_extreme_magnitudes_round_trip(self, durations):
+        """Rigid profiles (constant time, trivially monotonic) at any scale."""
+        tasks = [
+            MalleableTask.rigid(f"T{i}", duration, 3)
+            for i, duration in enumerate(durations)
+        ]
+        inst = Instance(tasks, 3)
+        clone = Instance.from_json(inst.to_json())
+        assert clone.times_matrix.tobytes() == inst.times_matrix.tobytes()
+        assert clone.fingerprint() == inst.fingerprint()
