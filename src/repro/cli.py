@@ -93,6 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser("serve", help="run the HTTP scheduling service")
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the result cache over N worker processes behind a "
+        "consistent-hash router (1 = single-process daemon)",
+    )
+    srv.add_argument(
+        "--shard-backend",
+        default="process",
+        choices=["process", "thread"],
+        help="shard worker kind (process falls back to threads in sandboxes)",
+    )
+    srv.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the consistent-hash ring",
+    )
     srv.add_argument("--workers", type=int, default=None, help="worker pool size")
     srv.add_argument(
         "--prefer",
@@ -114,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="result cache TTL in seconds (default: no expiry)",
+    )
+    srv.add_argument(
+        "--purge-interval",
+        type=float,
+        default=None,
+        help="eagerly drop expired cache entries this often "
+        "(seconds; default: once per TTL)",
     )
     srv.add_argument(
         "--max-pending",
@@ -139,6 +165,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--url",
         default=None,
         help="base URL of a running service; omitted = self-host an ephemeral server",
+    )
+    lt.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="self-host a sharded cluster with N shards instead of a "
+        "single-process daemon (only without --url)",
+    )
+    lt.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="client retries on 503 backpressure (capped jittered backoff)",
     )
     lt.add_argument(
         "--families", nargs="+", default=["mixed", "uniform"],
@@ -171,6 +210,11 @@ def _load_or_generate(args: argparse.Namespace) -> Instance:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP scheduling service until interrupted or shut down."""
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.shards > 1:
+        return _cmd_serve_cluster(args)
+    # Single-process daemon: --shards 1 degrades to exactly this path.
     from .service import SchedulerService, make_server
 
     service = SchedulerService(
@@ -180,6 +224,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_wait=args.batch_wait_ms / 1e3,
         cache_capacity=args.cache_capacity,
         cache_ttl=args.cache_ttl,
+        purge_interval=args.purge_interval,
         max_pending=args.max_pending,
     )
     server = make_server(
@@ -211,17 +256,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_spec_from_args(args: argparse.Namespace):
+    from .service.cluster import ShardSpec
+
+    return ShardSpec(
+        workers=args.workers,
+        prefer=args.prefer,
+        batch_size=args.batch_size,
+        batch_wait=args.batch_wait_ms / 1e3,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        purge_interval=args.purge_interval,
+        max_pending=args.max_pending,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """Run the sharded cluster: N shard workers behind the consistent-hash router."""
+    from .service.cluster import ClusterSupervisor, ShardRouterServer
+
+    supervisor = ClusterSupervisor(
+        args.shards,
+        spec=_shard_spec_from_args(args),
+        backend=args.shard_backend,
+        vnodes=args.vnodes,
+    ).start()
+    try:
+        router = ShardRouterServer(
+            (args.host, args.port),
+            supervisor,
+            allow_shutdown=args.allow_shutdown,
+            verbose=args.verbose,
+        )
+    except Exception:
+        supervisor.close()
+        raise
+    host, port = router.server_address[:2]
+    print(
+        f"sharded scheduling cluster listening on http://{host}:{port} "
+        f"(shards={supervisor.num_shards}, backend={supervisor.backend}, "
+        f"vnodes={supervisor.ring.vnodes}, "
+        f"cache={args.cache_capacity}x{supervisor.num_shards}"
+        + (f", ttl={args.cache_ttl:g}s" if args.cache_ttl else "")
+        + ")",
+        flush=True,
+    )
+    if args.ready_file is not None:
+        args.ready_file.write_text(f"{host} {port}\n")
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        router.server_close()
+        router.connections.close_all()
+        supervisor.close()
+    print("sharded scheduling cluster stopped", flush=True)
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     """Drive a (possibly self-hosted) service and print the report."""
-    from .service import run_loadtest, start_background_server
+    from .service import run_loadtest, start_background_server, start_cluster
 
     server = None
+    cluster = None
     base_url = args.url
     if base_url is None:
-        server, _ = start_background_server(allow_shutdown=True)
-        host, port = server.server_address[:2]
-        base_url = f"http://{host}:{port}"
-        print(f"self-hosted service on {base_url}")
+        if args.shards > 1:
+            cluster = start_cluster(args.shards, allow_shutdown=True)
+            base_url = cluster.url
+            print(
+                f"self-hosted {args.shards}-shard cluster on {base_url} "
+                f"(backend={cluster.supervisor.backend})"
+            )
+        else:
+            server, _ = start_background_server(allow_shutdown=True)
+            host, port = server.server_address[:2]
+            base_url = f"http://{host}:{port}"
+            print(f"self-hosted service on {base_url}")
     try:
         report = run_loadtest(
             base_url,
@@ -235,10 +349,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             validate=args.validate,
             include_adversarial=not args.no_adversarial,
+            retries=args.retries,
         )
     finally:
         if server is not None:
             server.close()
+        if cluster is not None:
+            cluster.close()
     cold, warm = report["cold"], report["warm"]
     print(
         f"pool={report['config']['pool_size']} instances  algorithm={args.algorithm}  "
@@ -253,8 +370,23 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         )
     print(
         f"warm/cold throughput speedup: {report['speedup']:.1f}x   "
-        f"responses consistent: {report['consistent']}"
+        f"responses consistent: {report['consistent']}   "
+        f"503 retries absorbed: {report['retries_total']}"
     )
+    if "shard_distribution" in report:
+        for shard_id, shard in sorted(
+            report["shard_distribution"].items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"shard {shard_id}: {shard['requests_forwarded']:5d} requests  "
+                f"hits={shard['cache_hits']}  fast={shard['fast_hits']}  "
+                f"errors={shard['errors']}  "
+                f"{'alive' if shard['alive'] else 'DOWN'}"
+            )
+        imbalance = report.get("imbalance") or {}
+        ratio = imbalance.get("max_over_ideal")
+        if ratio is not None:
+            print(f"shard imbalance (max/ideal requests): {ratio:.2f}x")
     if args.json:
         print("BENCH " + json.dumps(report, sort_keys=True))
     return 0 if report["consistent"] and cold["errors"] == 0 and warm["errors"] == 0 else 1

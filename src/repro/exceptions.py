@@ -17,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "SearchError",
     "ServiceOverloadedError",
+    "ClusterError",
 ]
 
 
@@ -72,4 +73,14 @@ class ServiceOverloadedError(ReproError):
     of in-flight requests has reached ``max_pending``; the HTTP frontend
     translates it into a ``503 Service Unavailable`` response so load
     generators can back off instead of queueing unboundedly.
+    """
+
+
+class ClusterError(ReproError):
+    """A sharded-cluster operation failed.
+
+    Raised by :mod:`repro.service.cluster` when a shard worker cannot be
+    spawned, fails to report its listening address within the ready timeout,
+    or the :class:`~repro.service.cluster.ring.ShardRing` is asked to assign
+    a key while empty.
     """

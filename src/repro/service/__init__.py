@@ -8,9 +8,12 @@ Turns the package's one-shot schedulers into a long-lived serving stack:
   :meth:`Instance.fingerprint() <repro.model.instance.Instance.fingerprint>`;
 * :mod:`~repro.service.server` — stdlib ``http.server`` JSON frontend
   (``POST /schedule``, ``GET /healthz``, ``GET /metrics``);
-* :mod:`~repro.service.client` — ``urllib`` client;
+* :mod:`~repro.service.client` — ``urllib`` client (with 503 retry/backoff);
 * :mod:`~repro.service.loadtest` — cold/warm load generator used by
-  ``python -m repro loadtest`` and the service throughput benchmark.
+  ``python -m repro loadtest`` and the service throughput benchmark;
+* :mod:`~repro.service.cluster` — sharded cluster: consistent-hash cache
+  shards (``ShardRing``), per-shard worker processes, the ``ShardRouter``
+  frontend and the ``ClusterSupervisor`` (``serve --shards N``).
 """
 
 from .cache import CacheStats, LRUTTLCache, MISS
@@ -25,9 +28,19 @@ from .core import (
 )
 from .loadtest import build_workload_payloads, run_loadtest
 from .server import ServiceHTTPServer, make_server, start_background_server
+from .cluster import (
+    ClusterHandle,
+    ClusterSupervisor,
+    ShardRing,
+    ShardRouterServer,
+    ShardSpec,
+    start_cluster,
+)
 
 __all__ = [
     "CacheStats",
+    "ClusterHandle",
+    "ClusterSupervisor",
     "LRUTTLCache",
     "MISS",
     "ScheduleRequest",
@@ -35,6 +48,9 @@ __all__ = [
     "ServiceClient",
     "ServiceHTTPError",
     "ServiceHTTPServer",
+    "ShardRing",
+    "ShardRouterServer",
+    "ShardSpec",
     "build_workload_payloads",
     "canonical_json",
     "compute_response",
@@ -43,4 +59,5 @@ __all__ = [
     "request_from_payload",
     "run_loadtest",
     "start_background_server",
+    "start_cluster",
 ]

@@ -33,6 +33,7 @@ class CacheStats:
     misses: int = 0
     evictions_lru: int = 0
     evictions_ttl: int = 0
+    expired_purged: int = 0
 
     @property
     def lookups(self) -> int:
@@ -48,6 +49,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions_lru": self.evictions_lru,
             "evictions_ttl": self.evictions_ttl,
+            "expired_purged": self.expired_purged,
             "hit_rate": self.hit_rate,
         }
 
@@ -88,22 +90,37 @@ class LRUTTLCache:
         with self._lock:
             return len(self._data)
 
-    def get(self, key: Hashable) -> Any:
-        """Value stored under ``key``, or :data:`MISS`; refreshes LRU order."""
+    def _lookup(self, key: Hashable, *, count_miss: bool) -> Any:
         with self._lock:
             entry = self._data.get(key)
             if entry is None:
-                self.stats.misses += 1
+                self.stats.misses += count_miss
                 return MISS
             stored_at, value = entry
             if self.ttl is not None and self._clock() - stored_at > self.ttl:
                 del self._data[key]
                 self.stats.evictions_ttl += 1
-                self.stats.misses += 1
+                self.stats.misses += count_miss
                 return MISS
             self._data.move_to_end(key)
             self.stats.hits += 1
             return value
+
+    def get(self, key: Hashable) -> Any:
+        """Value stored under ``key``, or :data:`MISS`; refreshes LRU order."""
+        return self._lookup(key, count_miss=True)
+
+    def get_if_hit(self, key: Hashable) -> Any:
+        """Like :meth:`get`, but a miss is *not* counted in the stats.
+
+        This is the shard fast path: the HTTP handler probes the cache with a
+        router-provided key before falling back to the full request pipeline,
+        and that pipeline performs the authoritative (counted) lookup.
+        Counting the probe too would double every miss.  Hits *are* counted
+        (the fast path is then the only lookup), and expired entries are
+        dropped and counted as TTL evictions, exactly as in :meth:`get`.
+        """
+        return self._lookup(key, count_miss=False)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``; evicts the LRU entry beyond capacity."""
@@ -116,7 +133,13 @@ class LRUTTLCache:
                 self.stats.evictions_lru += 1
 
     def purge_expired(self) -> int:
-        """Drop every expired entry now; returns the number removed."""
+        """Drop every expired entry now; returns the number removed.
+
+        Eager purges are counted in ``stats.expired_purged`` (the service
+        drain loop runs this periodically so long-idle shards do not pin dead
+        entries), while ``stats.evictions_ttl`` counts only the lazy drops
+        that happen on access.
+        """
         if self.ttl is None:
             return 0
         cutoff = self._clock() - self.ttl
@@ -124,7 +147,7 @@ class LRUTTLCache:
             stale = [k for k, (t, _) in self._data.items() if t < cutoff]
             for key in stale:
                 del self._data[key]
-            self.stats.evictions_ttl += len(stale)
+            self.stats.expired_purged += len(stale)
             return len(stale)
 
     def clear(self) -> None:

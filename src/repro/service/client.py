@@ -2,16 +2,34 @@
 
 Used by the load generator, the CLI ``loadtest`` subcommand, the CI smoke
 test and the service benchmark — anything that talks to a running
-``python -m repro serve``.  Only ``urllib.request`` + ``json``; no
-third-party dependencies.
+``python -m repro serve``.  Only ``http.client`` + ``json``; no third-party
+dependencies.
+
+Connections are persistent (HTTP/1.1 keep-alive, one per calling thread,
+Nagle disabled): a load generator fires thousands of requests at one base
+URL, and per-request TCP connects would otherwise dominate the client side
+of every throughput measurement.  A request that fails on a *reused*
+connection (the server closed it while idle) is transparently retried once
+on a fresh one.
+
+Backpressure handling: a ``503`` (:class:`~repro.exceptions.ServiceOverloadedError`
+on the server side) is retried with capped, fully-jittered exponential
+backoff — ``retries`` attempts (default 3) with delays drawn uniformly from
+``[0, min(backoff_cap, backoff * 2**attempt)]``.  The cumulative number of
+retries is exposed as :attr:`ServiceClient.retries_total` so load tests can
+report how much backoff the run absorbed.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import random
+import socket
+import threading
+import time
 from typing import Any
+from urllib.parse import urlsplit
 
 from ..model.instance import Instance
 
@@ -29,32 +47,138 @@ class ServiceHTTPError(RuntimeError):
 
 
 class ServiceClient:
-    """Blocking JSON-over-HTTP client bound to one service base URL."""
+    """Blocking JSON-over-HTTP client bound to one service base URL.
 
-    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+    Parameters
+    ----------
+    timeout:
+        Per-request socket timeout (seconds).
+    retries:
+        How many times a ``503`` (service overloaded) response is retried
+        before the :class:`ServiceHTTPError` propagates; 0 disables retries.
+    backoff / backoff_cap:
+        Exponential-backoff base and cap (seconds) for the retry delays;
+        the actual sleep is jittered uniformly over ``[0, delay]``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 300.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff and backoff_cap must be positive")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.retries_total = 0
+        self._retry_lock = threading.Lock()
+        split = urlsplit(self.base_url)
+        if split.scheme == "http":
+            self._conn_class: type[http.client.HTTPConnection] = (
+                http.client.HTTPConnection
+            )
+        elif split.scheme == "https":
+            self._conn_class = http.client.HTTPSConnection
+        else:
+            raise ValueError(
+                f"unsupported URL scheme {split.scheme!r} in {base_url!r} "
+                "(use http:// or https://)"
+            )
+        self._host_port = split.netloc
+        self._base_path = split.path.rstrip("/")
+        self._local = threading.local()
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
-    def _request(self, path: str, payload: dict | None = None) -> dict:
-        url = f"{self.base_url}{path}"
-        data = None
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's keep-alive connection; ``(conn, was_reused)``."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, True
+        conn = self._conn_class(self._host_port, timeout=self.timeout)
+        conn.connect()
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._local.conn = conn
+        return conn, False
+
+    def _drop_connection(self, conn: http.client.HTTPConnection) -> None:
+        conn.close()
+        self._local.conn = None
+
+    def _request_once(self, path: str, body: bytes | None, *, method: str) -> dict:
         headers = {"Accept": "application/json"}
-        if payload is not None:
-            data = json.dumps(payload).encode()
+        if body is not None:
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
+        for attempt in (0, 1):
+            conn, reused = self._connection()
             try:
-                body = json.loads(exc.read())
+                conn.request(
+                    method, self._base_path + path, body=body, headers=headers
+                )
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, OSError):
+                self._drop_connection(conn)
+                # A reused connection may have been closed by the server
+                # while idle — retry exactly once on a fresh one.  A fresh
+                # connection failing is a real error.
+                if reused and attempt == 0:
+                    continue
+                raise
+            if response.will_close:
+                self._drop_connection(conn)
+            break
+        if response.status >= 400:
+            try:
+                error_body = json.loads(data)
             except (json.JSONDecodeError, ValueError):
-                body = None
-            raise ServiceHTTPError(exc.code, body, url) from exc
+                error_body = None
+            raise ServiceHTTPError(
+                response.status, error_body, f"{self.base_url}{path}"
+            )
+        return json.loads(data)
+
+    def _request(
+        self,
+        path: str,
+        payload: dict | None = None,
+        *,
+        raw: bytes | None = None,
+    ) -> dict:
+        if raw is not None:
+            body, method = raw, "POST"
+        elif payload is not None:
+            body, method = json.dumps(payload).encode(), "POST"
+        else:
+            body, method = None, "GET"
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, body, method=method)
+            except ServiceHTTPError as exc:
+                if exc.status != 503 or attempt >= self.retries:
+                    raise
+            delay = min(self.backoff_cap, self.backoff * (2**attempt))
+            attempt += 1
+            with self._retry_lock:
+                self.retries_total += 1
+            time.sleep(random.uniform(0.0, delay))
+
+    def close(self) -> None:
+        """Close this thread's keep-alive connection (best effort)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._drop_connection(conn)
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -65,12 +189,25 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("/metrics")
 
+    def purge(self, *, all: bool = False) -> dict:  # noqa: A002 (wire name)
+        """Send the explicit cache-eviction message (``POST /purge``)."""
+        return self._request("/purge", payload={"all": True} if all else {})
+
     def shutdown(self) -> dict:
         return self._request("/shutdown", payload={})
 
     def schedule_payload(self, payload: dict) -> dict:
-        """POST a raw ``/schedule`` body (already in wire shape)."""
+        """POST a ``/schedule`` body (already in wire shape)."""
         return self._request("/schedule", payload=payload)
+
+    def schedule_raw(self, body: bytes) -> dict:
+        """POST pre-encoded ``/schedule`` bytes.
+
+        The load generator replays the same payloads thousands of times;
+        encoding them once keeps client-side JSON serialisation out of the
+        throughput measurement.
+        """
+        return self._request("/schedule", raw=body)
 
     def schedule(
         self,

@@ -1,0 +1,135 @@
+"""Consistent-hash ring over instance-fingerprint prefixes.
+
+The sharded cluster partitions the result cache by content: every request is
+routed by its :meth:`Instance.fingerprint()
+<repro.model.instance.Instance.fingerprint>` so all replays of the same
+instance land on the same shard — the shard's LRU+TTL cache slice is
+*disjoint* from every other shard's and no cross-shard invalidation is ever
+needed.
+
+:class:`ShardRing` is classic consistent hashing with virtual nodes: each
+shard id owns ``vnodes`` pseudo-random points on a 64-bit ring (BLAKE2b of
+``"{node}#{replica}"`` — a keyed, process-stable hash; Python's builtin
+``hash`` is salted per process and would scatter assignments across the
+router and its tests).  A key is mapped to the first point clockwise from
+its own hash.  Properties the cluster relies on (pinned by property tests):
+
+* **stability** — assignment is a pure function of the *set* of nodes
+  (insertion order is irrelevant);
+* **balance** — with 64 virtual nodes per shard the largest share stays
+  within ~2x of the ideal ``1/N``;
+* **minimal movement** — adding one shard re-homes only about ``1/(N+1)``
+  of the keys, all of them onto the new shard (the survivors never move
+  between old shards), so a rolling resize mostly preserves the hot set.
+
+Keys are hashed by their first :data:`KEY_PREFIX_LEN` characters: the
+fingerprint is itself a uniform content hash, so a short prefix carries all
+the entropy the ring needs while keeping the router's per-request hashing
+cost flat no matter how long the key is.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from hashlib import blake2b
+from typing import Hashable, Iterable, Iterator
+
+from ...exceptions import ClusterError
+
+__all__ = ["KEY_PREFIX_LEN", "ShardRing"]
+
+#: How many leading characters of a routing key feed the ring hash.
+KEY_PREFIX_LEN = 16
+
+
+def _point(token: str) -> int:
+    """Stable 64-bit ring coordinate of a token."""
+    return int.from_bytes(blake2b(token.encode(), digest_size=8).digest(), "big")
+
+
+class ShardRing:
+    """Consistent hashing with virtual nodes over string keys.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node identifiers (any hashable; the cluster uses shard ids).
+    vnodes:
+        Virtual nodes (ring points) per node; more points = smoother balance
+        at a small memory/build cost.  64 keeps the maximum share within
+        about 2x of ideal.
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (), *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: set[Hashable] = set()
+        self._points: list[int] = []
+        self._owners: list[Hashable] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------ #
+    # node management
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(sorted(self._nodes, key=repr))
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def add_node(self, node: Hashable) -> None:
+        """Add ``node`` (and its virtual points) to the ring."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node``; its key range folds into the clockwise survivors."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Rebuilt from the node *set* on every change: the ring is a pure
+        # function of membership, which is what makes assignment stable
+        # across routers, respawns and test permutations.
+        entries: list[tuple[int, Hashable]] = []
+        for node in self._nodes:
+            for replica in range(self.vnodes):
+                entries.append((_point(f"{node!r}#{replica}"), node))
+        # Ties (astronomically unlikely 64-bit collisions) break on repr so
+        # two builds of the same membership can never disagree.
+        entries.sort(key=lambda e: (e[0], repr(e[1])))
+        self._points = [point for point, _ in entries]
+        self._owners = [node for _, node in entries]
+
+    # ------------------------------------------------------------------ #
+    # assignment
+    # ------------------------------------------------------------------ #
+    def assign(self, key: str) -> Hashable:
+        """Owning node of ``key`` (hashed by its :data:`KEY_PREFIX_LEN` prefix)."""
+        if not self._points:
+            raise ClusterError("cannot assign a key on an empty ring")
+        index = bisect_right(self._points, _point(key[:KEY_PREFIX_LEN]))
+        if index == len(self._points):  # wrap past the highest point
+            index = 0
+        return self._owners[index]
+
+    def spread(self, keys: Iterable[str]) -> Counter:
+        """Assignment histogram of ``keys`` (diagnostics / balance tests)."""
+        counts: Counter = Counter()
+        for key in keys:
+            counts[self.assign(key)] += 1
+        return counts

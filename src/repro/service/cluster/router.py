@@ -1,0 +1,521 @@
+"""Shard router: the HTTP frontend of the sharded scheduling cluster.
+
+``POST /schedule`` requests are *routed by content*: the router fingerprints
+the raw payload with the same
+:func:`~repro.service.core.payload_fingerprint` /
+:func:`~repro.model.instance.profile_fingerprint` pair the single-process
+daemon uses, asks the :class:`~repro.service.cluster.ring.ShardRing` for the
+owning shard, and forwards the *unmodified* body bytes there over a pooled
+loopback HTTP connection.  Because the body is relayed verbatim and every
+shard runs the exact same request pipeline as the standalone daemon, a
+cluster response is byte-identical to a single-process response for the same
+request.
+
+The router additionally precomputes the shard's full cache key
+(fingerprint, algorithm, canonical params JSON, validate flag) and sends it
+as ``X-Repro-*`` headers: the shard (created with ``trust_fast_headers``)
+serves cache hits straight from its handler thread without re-parsing the
+body — hit work splits between the router process (parse + fingerprint) and
+the owning shard (lookup + serialisation), which is what lets hit throughput
+scale with cores.
+
+Payloads the fast fingerprint cannot handle (generator specs, malformed
+bodies) are routed by a hash of their canonical JSON — deterministic, so
+replays still land on the same shard and error responses come from the same
+shard-side code path as the daemon's.
+
+Other routes: ``GET /healthz`` (fleet liveness), ``GET /metrics``
+(aggregated per-shard + router view, including hit-distribution imbalance),
+``POST /purge`` (fan the eviction message out to every shard) and the gated
+``POST /shutdown``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from hashlib import blake2b
+from http.server import ThreadingHTTPServer
+
+import numpy as np
+
+from ...exceptions import ClusterError
+from ..cache import MISS, LRUTTLCache
+from ..core import canonical_json, payload_fingerprint
+from ..server import JsonRequestHandler
+from .supervisor import ClusterSupervisor
+from .worker import ShardSpec
+
+__all__ = [
+    "ClusterHandle",
+    "ShardRouterServer",
+    "routing_info",
+    "start_cluster",
+]
+
+
+def routing_info(raw: bytes) -> tuple[str, dict[str, str]]:
+    """Routing key and fast-path headers for a raw ``/schedule`` body.
+
+    Returns ``(key, headers)`` where ``key`` feeds the consistent-hash ring
+    and ``headers`` is either the full precomputed shard cache key
+    (``X-Repro-*``) or empty when the fast path does not apply.  Never
+    raises: undecodable bodies are routed by a content hash and rejected by
+    the owning shard with exactly the daemon's error response.
+    """
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return "raw:" + blake2b(raw, digest_size=8).hexdigest(), {}
+    if isinstance(payload, dict):
+        instance = payload.get("instance")
+        if isinstance(instance, dict):
+            fingerprint = payload_fingerprint(instance)
+            if fingerprint is not None:
+                algorithm = payload.get("algorithm", "mrt")
+                params = payload.get("params", {})
+                if isinstance(algorithm, str) and isinstance(params, dict):
+                    try:
+                        params_json = canonical_json(params)
+                    except (TypeError, ValueError):  # pragma: no cover
+                        return fingerprint, {}
+                    return fingerprint, {
+                        "X-Repro-Fingerprint": fingerprint,
+                        "X-Repro-Algorithm": algorithm,
+                        "X-Repro-Params": params_json,
+                        "X-Repro-Validate": (
+                            "1" if payload.get("validate", False) else "0"
+                        ),
+                    }
+                # Ill-typed algorithm/params: still route by content so the
+                # shard's request parser produces the canonical 400.
+                return fingerprint, {}
+    try:
+        canon = canonical_json(payload)
+    except (TypeError, ValueError):
+        canon = raw.decode("utf-8", "replace")
+    return "body:" + blake2b(canon.encode(), digest_size=8).hexdigest(), {}
+
+
+class _ShardConnectionPool:
+    """Tiny keep-alive pool of router→shard HTTP connections.
+
+    Connections are keyed by the shard's *current* URL: after a respawn the
+    shard comes back on a new port and the stale connections simply fail to
+    match and are dropped.
+    """
+
+    def __init__(self, timeout: float, max_idle_per_shard: int = 8) -> None:
+        self.timeout = timeout
+        self.max_idle = max_idle_per_shard
+        self._idle: dict[int, deque[tuple[str, http.client.HTTPConnection]]] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, shard_id: int, url: str) -> http.client.HTTPConnection:
+        with self._lock:
+            idle = self._idle.get(shard_id)
+            while idle:
+                pooled_url, conn = idle.popleft()
+                if pooled_url == url:
+                    return conn
+                conn.close()  # stale: the shard moved (respawn)
+        host_port = url.split("//", 1)[1]
+        conn = http.client.HTTPConnection(host_port, timeout=self.timeout)
+        # Connect eagerly so Nagle can be disabled before the first request:
+        # a reused keep-alive connection writes headers and body separately,
+        # and Nagle + the peer's delayed ACK would stall every forward by
+        # ~40ms otherwise.
+        conn.connect()
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def release(self, shard_id: int, url: str, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            idle = self._idle.setdefault(shard_id, deque())
+            if len(idle) < self.max_idle:
+                idle.append((url, conn))
+                return
+        conn.close()
+
+    def close_all(self) -> None:
+        with self._lock:
+            for idle in self._idle.values():
+                for _, conn in idle:
+                    conn.close()
+            self._idle.clear()
+
+
+class _RouterHandler(JsonRequestHandler):
+    server: "ShardRouterServer"
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path == "/healthz":
+            supervisor = self.server.supervisor
+            alive = supervisor.alive_count()
+            self._send_json(
+                200,
+                {
+                    "status": "ok" if alive == supervisor.num_shards else "degraded",
+                    "shards": supervisor.num_shards,
+                    "alive": alive,
+                    "backend": supervisor.backend,
+                    "uptime_seconds": supervisor.uptime_seconds,
+                },
+            )
+        elif self.path == "/metrics":
+            self._send_json(200, self.server.aggregate_metrics())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path == "/schedule":
+            self._handle_schedule()
+        elif self.path == "/purge":
+            self._handle_purge()
+        elif self.path == "/shutdown":
+            self._handle_shutdown()
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_schedule(self) -> None:
+        # Mirrors the daemon's oversized-body rejection (without draining).
+        length = self._checked_content_length()
+        if length is None:
+            return
+        raw = self.rfile.read(length) if length > 0 else b""
+        # Route cache: routing_info is a pure function of the body bytes, and
+        # the whole point of the fingerprint cache is that bodies repeat —
+        # replays skip the JSON parse + fingerprint entirely (a ~100-byte
+        # digest lookup instead), which keeps the router off the critical
+        # path of warm-hit throughput.
+        digest = blake2b(raw, digest_size=16).digest()
+        cached = self.server.route_cache.get(digest)
+        if cached is not MISS:
+            key, fast_headers = cached
+        else:
+            key, fast_headers = routing_info(raw)
+            self.server.route_cache.put(digest, (key, fast_headers))
+        start = time.perf_counter()
+        attempts = self.server.forward_retries + 1
+        for attempt in range(attempts):
+            try:
+                # Re-resolve the shard URL on every attempt: a crashed shard
+                # comes back on a fresh port once the monitor respawns it.
+                shard_id, url = self.server.supervisor.route(key)
+            except ClusterError as exc:
+                self.server.record_route_error(None)
+                self._send_json(503, {"error": str(exc)})
+                return
+            try:
+                status, body = self._forward_once(shard_id, url, raw, fast_headers)
+            except (OSError, http.client.HTTPException):
+                self.server.record_route_error(shard_id)
+                if attempt + 1 >= attempts:
+                    self._send_json(
+                        503,
+                        {
+                            "error": f"shard {shard_id} unavailable after "
+                            f"{attempts} attempts; retry later"
+                        },
+                    )
+                    return
+                time.sleep(self.server.retry_wait)
+                continue
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            self.server.record_forward(shard_id, elapsed_ms)
+            self._send_body(status, body)
+            return
+
+    def _forward_once(
+        self, shard_id: int, url: str, raw: bytes, fast_headers: dict[str, str]
+    ) -> tuple[int, bytes]:
+        pool = self.server.connections
+        conn = pool.acquire(shard_id, url)
+        reusable = False
+        try:
+            conn.request(
+                "POST",
+                "/schedule",
+                body=raw,
+                headers={
+                    "Content-Type": "application/json",
+                    "Accept": "application/json",
+                    **fast_headers,
+                },
+            )
+            response = conn.getresponse()
+            body = response.read()
+            reusable = not response.will_close
+            return response.status, body
+        finally:
+            if reusable:
+                pool.release(shard_id, url, conn)
+            else:
+                conn.close()
+
+    def _handle_purge(self) -> None:
+        payload = self._read_purge_payload()
+        if payload is None:
+            return
+        results = self.server.supervisor.purge_all(all=bool(payload.get("all")))
+        reachable = [r for r in results.values() if r is not None]
+        self._send_json(
+            200,
+            {
+                "expired_purged": sum(r["expired_purged"] for r in reachable),
+                "cleared": sum(r["cleared"] for r in reachable),
+                "shards": {str(sid): r for sid, r in results.items()},
+            },
+        )
+
+    def _handle_shutdown(self) -> None:
+        if not self.server.allow_shutdown:
+            self._send_json(403, {"error": "shutdown endpoint disabled"})
+            return
+        self._send_json(200, {"status": "shutting down"})
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+
+class ShardRouterServer(ThreadingHTTPServer):
+    """Threading HTTP router in front of one :class:`ClusterSupervisor`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        supervisor: ClusterSupervisor,
+        *,
+        allow_shutdown: bool = False,
+        verbose: bool = False,
+        forward_timeout: float = 300.0,
+        forward_retries: int = 3,
+        retry_wait: float = 0.25,
+    ) -> None:
+        super().__init__(address, _RouterHandler)
+        self.supervisor = supervisor
+        self.allow_shutdown = allow_shutdown
+        self.verbose = verbose
+        self.forward_retries = int(forward_retries)
+        self.retry_wait = float(retry_wait)
+        self.connections = _ShardConnectionPool(forward_timeout)
+        # body-digest → (routing key, fast headers); see _handle_schedule.
+        self.route_cache = LRUTTLCache(4096)
+        self._stats_lock = threading.Lock()
+        self._requests_total = 0
+        self._routing_errors = 0
+        self._per_shard: dict[int, dict[str, int]] = {}
+        self._latencies_ms: deque[float] = deque(maxlen=4096)
+        self._serve_started = False
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping (called from handler threads)
+    # ------------------------------------------------------------------ #
+    def record_forward(self, shard_id: int, elapsed_ms: float) -> None:
+        with self._stats_lock:
+            self._requests_total += 1
+            entry = self._per_shard.setdefault(
+                shard_id, {"requests": 0, "errors": 0}
+            )
+            entry["requests"] += 1
+            self._latencies_ms.append(elapsed_ms)
+
+    def record_route_error(self, shard_id: int | None) -> None:
+        with self._stats_lock:
+            self._routing_errors += 1
+            if shard_id is not None:
+                entry = self._per_shard.setdefault(
+                    shard_id, {"requests": 0, "errors": 0}
+                )
+                entry["errors"] += 1
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate_metrics(self) -> dict:
+        """One ``/metrics`` view over the whole cluster.
+
+        Shape: ``cluster`` (summed counters + rolled-up cache stats +
+        router-observed latency percentiles), ``router`` (forward counts per
+        shard, routing errors), ``shards`` (full per-shard snapshots) and
+        ``imbalance`` (max-over-ideal of the per-shard request counts — 1.0
+        is a perfectly even spread).
+        """
+        supervisor = self.supervisor
+        snapshots = supervisor.shard_metrics()
+        urls = supervisor.shard_urls()
+        counter_keys = (
+            "requests_total",
+            "rejections",
+            "batches",
+            "deduped_in_batch",
+            "fast_hits",
+            "queue_depth",
+        )
+        totals = dict.fromkeys(counter_keys, 0)
+        cache_keys = (
+            "hits",
+            "misses",
+            "evictions_lru",
+            "evictions_ttl",
+            "expired_purged",
+            "size",
+        )
+        cache_totals = dict.fromkeys(cache_keys, 0)
+        shards_view: dict[str, dict] = {}
+        for shard_id, snapshot in sorted(snapshots.items()):
+            shards_view[str(shard_id)] = {
+                "url": urls.get(shard_id),
+                "alive": snapshot is not None,
+                "metrics": snapshot,
+            }
+            if snapshot is None:
+                continue
+            for key in counter_keys:
+                totals[key] += int(snapshot.get(key, 0))
+            shard_cache = snapshot.get("cache", {})
+            for key in cache_keys:
+                cache_totals[key] += int(shard_cache.get(key, 0))
+        lookups = cache_totals["hits"] + cache_totals["misses"]
+        cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
+        with self._stats_lock:
+            latencies = sorted(self._latencies_ms)
+            router = {
+                "requests_total": self._requests_total,
+                "routing_errors": self._routing_errors,
+                "route_cache": {
+                    **self.route_cache.stats.as_dict(),
+                    "size": len(self.route_cache),
+                },
+                "per_shard": {
+                    str(sid): dict(entry)
+                    for sid, entry in sorted(self._per_shard.items())
+                },
+            }
+        if latencies:
+            latency = {
+                "count": len(latencies),
+                "p50_ms": float(np.percentile(latencies, 50)),
+                "p99_ms": float(np.percentile(latencies, 99)),
+            }
+        else:
+            latency = {"count": 0, "p50_ms": None, "p99_ms": None}
+        forwarded = [e["requests"] for e in router["per_shard"].values()]
+        total_forwarded = sum(forwarded)
+        ideal = total_forwarded / supervisor.num_shards if total_forwarded else 0.0
+        imbalance = {
+            "requests_total": total_forwarded,
+            "ideal_per_shard": ideal,
+            "max_per_shard": max(forwarded) if forwarded else 0,
+            "max_over_ideal": (max(forwarded) / ideal) if ideal else None,
+        }
+        return {
+            "cluster": {
+                "shards": supervisor.num_shards,
+                "alive": supervisor.alive_count(),
+                "backend": supervisor.backend,
+                "respawns": supervisor.respawns,
+                "uptime_seconds": supervisor.uptime_seconds,
+                **totals,
+                "cache": cache_totals,
+                "latency": latency,
+            },
+            "router": router,
+            "shards": shards_view,
+            "imbalance": imbalance,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def serve_forever(self, *args, **kwargs) -> None:
+        self._serve_started = True
+        super().serve_forever(*args, **kwargs)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop routing and release the listening socket.
+
+        Does *not* stop the shard fleet — that is the supervisor's job (see
+        :meth:`ClusterHandle.close` for the combined teardown).
+        """
+        if self._serve_started:
+            self.shutdown()
+        self.server_close()
+        self.connections.close_all()
+
+
+@dataclass
+class ClusterHandle:
+    """A running cluster: router server, its serve thread and the fleet."""
+
+    supervisor: ClusterSupervisor
+    server: ShardRouterServer
+    thread: threading.Thread
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def close(self) -> None:
+        self.server.close()
+        self.supervisor.close()
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_cluster(
+    shards: int = 2,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    spec: ShardSpec | None = None,
+    backend: str = "process",
+    vnodes: int = 64,
+    respawn: bool = True,
+    allow_shutdown: bool = False,
+    verbose: bool = False,
+    forward_timeout: float = 300.0,
+) -> ClusterHandle:
+    """Boot a sharded cluster and serve its router on a background thread.
+
+    The cluster equivalent of
+    :func:`~repro.service.server.start_background_server`; used by the
+    self-hosted ``loadtest --shards``, the cluster benchmark and the tests.
+    Stop it with :meth:`ClusterHandle.close`.
+    """
+    supervisor = ClusterSupervisor(
+        shards, spec=spec, backend=backend, vnodes=vnodes, respawn=respawn
+    ).start()
+    try:
+        server = ShardRouterServer(
+            (host, port),
+            supervisor,
+            allow_shutdown=allow_shutdown,
+            verbose=verbose,
+            forward_timeout=forward_timeout,
+        )
+    except Exception:
+        supervisor.close()
+        raise
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-cluster-router", daemon=True
+    )
+    thread.start()
+    return ClusterHandle(supervisor=supervisor, server=server, thread=thread)

@@ -1,0 +1,216 @@
+"""Shard worker processes: each owns a disjoint slice of the result cache.
+
+A shard is simply a full single-process scheduling daemon — a
+:class:`~repro.service.core.SchedulerService` behind a
+:class:`~repro.service.server.ServiceHTTPServer` — bound to an ephemeral
+loopback port and created with ``trust_fast_headers=True`` so cache hits for
+the keys it owns are served locally, straight from the handler thread.
+Shared-nothing by construction: the router partitions the key space with the
+:class:`~repro.service.cluster.ring.ShardRing`, so no entry ever exists on
+two shards and there is no cross-shard invalidation; eviction is TTL expiry
+(plus the periodic drain-loop purge) and the explicit ``POST /purge``
+control message.
+
+Two backends, one interface (:class:`ShardHandle`):
+
+* :class:`ProcessShardHandle` — ``multiprocessing.Process`` running
+  :func:`run_shard`; real parallelism, the production shape.  The child
+  reports ``(shard_id, host, port)`` over a pipe once its socket is bound.
+* :class:`ThreadShardHandle` — the same HTTP server on a daemon thread in
+  the current process; no extra parallelism, but identical wire behaviour.
+  Used as the automatic fallback where subprocesses are forbidden
+  (restricted sandboxes — the same degradation strategy as
+  :func:`repro.analysis.experiments.make_pool`) and by fast tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import asdict, dataclass
+from multiprocessing.connection import Connection
+
+from ...exceptions import ClusterError
+from ..core import SchedulerService
+from ..server import ServiceHTTPServer
+
+__all__ = [
+    "ProcessShardHandle",
+    "ShardHandle",
+    "ShardSpec",
+    "ThreadShardHandle",
+    "run_shard",
+]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable per-shard service configuration.
+
+    Mirrors the :class:`~repro.service.core.SchedulerService` constructor
+    (minus the injectable clock, which cannot cross a process boundary).
+    Every shard of a cluster runs the same spec; the *capacity* of the
+    cluster cache is therefore ``shards * cache_capacity``.
+    """
+
+    workers: int | None = None
+    prefer: str = "thread"
+    batch_size: int = 32
+    batch_wait: float = 0.0
+    cache_capacity: int = 2048
+    cache_ttl: float | None = None
+    purge_interval: float | None = None
+    max_pending: int = 1024
+    verbose: bool = False
+
+    def build_service(self) -> SchedulerService:
+        kwargs = asdict(self)
+        kwargs.pop("verbose")
+        return SchedulerService(**kwargs)
+
+
+def run_shard(shard_id: int, spec: ShardSpec, conn: Connection) -> None:
+    """Process entry point of one shard worker.
+
+    Binds an ephemeral loopback port, reports ``(shard_id, host, port)``
+    through ``conn`` and serves until terminated by the supervisor.
+    Module-level so it is picklable under every multiprocessing start
+    method.
+    """
+    service = spec.build_service()
+    # allow_shutdown stays False: the supervisor stops shards itself
+    # (terminate / server.close), and an open /shutdown on the shard port
+    # would bypass the router's shutdown gate.
+    server = ServiceHTTPServer(
+        ("127.0.0.1", 0),
+        service,
+        trust_fast_headers=True,
+        verbose=spec.verbose,
+    )
+    host, port = server.server_address[:2]
+    conn.send((shard_id, host, int(port)))
+    conn.close()
+    try:
+        server.serve_forever()
+    finally:  # pragma: no cover - usually killed by the supervisor
+        server.server_close()
+        service.close()
+
+
+class ShardHandle:
+    """Lifecycle interface shared by the process and thread backends."""
+
+    kind: str = "?"
+    shard_id: int
+    url: str
+
+    def start(self, ready_timeout: float) -> str:
+        raise NotImplementedError
+
+    def is_alive(self) -> bool:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+
+class ProcessShardHandle(ShardHandle):
+    """One shard as a daemon subprocess."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        shard_id: int,
+        spec: ShardSpec,
+        *,
+        mp_context: multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self._ctx = mp_context or multiprocessing.get_context()
+        self.process: multiprocessing.Process | None = None
+        self.url = ""
+
+    def start(self, ready_timeout: float = 30.0) -> str:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        self.process = self._ctx.Process(
+            target=run_shard,
+            args=(self.shard_id, self.spec, child_conn),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()  # child's end lives in the child now
+        try:
+            if not parent_conn.poll(ready_timeout):
+                raise ClusterError(
+                    f"shard {self.shard_id} did not report ready within "
+                    f"{ready_timeout:g}s"
+                )
+            _, host, port = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            self.stop()  # reap the half-started child — never leak it
+            raise ClusterError(
+                f"shard {self.shard_id} died before reporting its address"
+            ) from exc
+        except ClusterError:
+            self.stop()
+            raise
+        finally:
+            parent_conn.close()
+        self.url = f"http://{host}:{port}"
+        return self.url
+
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def stop(self) -> None:
+        if self.process is None:
+            return
+        # Shards are stateless beyond their in-memory cache slice: a hard
+        # terminate is a clean shutdown (no durable state to flush).
+        self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
+class ThreadShardHandle(ShardHandle):
+    """One shard as an in-process daemon thread (sandbox fallback, tests)."""
+
+    kind = "thread"
+
+    def __init__(self, shard_id: int, spec: ShardSpec) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self._server: ServiceHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.url = ""
+
+    def start(self, ready_timeout: float = 30.0) -> str:
+        service = self.spec.build_service()
+        self._server = ServiceHTTPServer(
+            ("127.0.0.1", 0),
+            service,
+            trust_fast_headers=True,
+            verbose=self.spec.verbose,
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        host, port = self._server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        return self.url
+
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None

@@ -270,6 +270,11 @@ class SchedulerService:
         0 (never wait).
     cache_capacity / cache_ttl:
         LRU capacity and optional TTL (seconds) of the result cache.
+    purge_interval:
+        How often (seconds) the dispatcher eagerly drops expired cache
+        entries (:meth:`LRUTTLCache.purge_expired`) so a long-idle service
+        does not pin dead entries until the next lookup.  ``None`` (default)
+        purges once per ``cache_ttl``; ignored when no TTL is configured.
     max_pending:
         Backpressure bound on in-flight requests; beyond it
         :meth:`submit` raises :class:`~repro.exceptions.ServiceOverloadedError`.
@@ -289,6 +294,7 @@ class SchedulerService:
         batch_wait: float = 0.0,
         cache_capacity: int = 2048,
         cache_ttl: float | None = None,
+        purge_interval: float | None = None,
         max_pending: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         autostart: bool = True,
@@ -301,7 +307,18 @@ class SchedulerService:
         self.batch_size = int(batch_size)
         self.batch_wait = float(batch_wait)
         self.max_pending = int(max_pending)
+        if purge_interval is not None and purge_interval <= 0:
+            raise ValueError("purge_interval must be positive (or None for auto)")
         self.cache = LRUTTLCache(cache_capacity, ttl=cache_ttl, clock=clock)
+        # Purge scheduling runs on the same (injectable) clock as the cache
+        # TTL so tests can drive both deterministically.
+        self._clock = clock
+        self.purge_interval = (
+            purge_interval if purge_interval is not None else cache_ttl
+        )
+        self._next_purge = (
+            clock() + self.purge_interval if self.purge_interval is not None else None
+        )
         self._pool, self.pool_kind = make_pool(self.workers, prefer=prefer)
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
@@ -310,6 +327,7 @@ class SchedulerService:
         self._rejections = 0
         self._batches = 0
         self._deduped = 0
+        self._fast_hits = 0
         self._latencies_ms: deque[float] = deque(maxlen=4096)
         self._started = time.monotonic()
         self._closed = False
@@ -360,6 +378,28 @@ class SchedulerService:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(request).result(timeout=timeout)
 
+    def serve_cached(self, key: tuple) -> Any:
+        """Fast-path cache probe: the payload for ``key``, or :data:`MISS`.
+
+        Used by the HTTP frontend when a trusted router forwarded the request
+        with a precomputed cache key (sharded deployments): a hit is served
+        straight from the handler thread — no body parse, no fingerprinting,
+        no dispatcher round-trip.  Hits are counted as requests and as
+        ``fast_hits``; a miss is *not* counted (the caller falls back to
+        :meth:`submit`, which performs the authoritative counted lookup).
+        """
+        value = self.cache.get_if_hit(key)
+        if value is not MISS:
+            with self._lock:
+                self._requests_total += 1
+                self._fast_hits += 1
+        return value
+
+    def note_latency(self, elapsed_ms: float) -> None:
+        """Record an externally measured request latency (fast-path hits)."""
+        with self._lock:
+            self._latencies_ms.append(elapsed_ms)
+
     def metrics(self) -> dict:
         """Service counters in the shape served by ``GET /metrics``."""
         with self._lock:
@@ -370,6 +410,7 @@ class SchedulerService:
                 "rejections": self._rejections,
                 "batches": self._batches,
                 "deduped_in_batch": self._deduped,
+                "fast_hits": self._fast_hits,
             }
         if latencies:
             lat = {
@@ -409,8 +450,18 @@ class SchedulerService:
     # ------------------------------------------------------------------ #
     # dispatcher
     # ------------------------------------------------------------------ #
+    def _maybe_purge(self) -> None:
+        """Eagerly drop expired cache entries once per ``purge_interval``."""
+        if self._next_purge is None:
+            return
+        now = self._clock()
+        if now >= self._next_purge:
+            self._next_purge = now + self.purge_interval
+            self.cache.purge_expired()
+
     def _dispatch_loop(self) -> None:
         while True:
+            self._maybe_purge()
             try:
                 first = self._queue.get(timeout=0.1)
             except queue.Empty:

@@ -15,10 +15,18 @@ Besides throughput and client-side latency percentiles, the run cross-checks
 payload byte-identical (canonical JSON) to the first response for the same
 instance.  Used by ``python -m repro loadtest`` and by
 ``benchmarks/bench_service_throughput.py``.
+
+The generator is shard-aware: 503 backpressure responses are absorbed by the
+client's capped jittered retries (``retries_total`` lands in the report),
+and when the target is a cluster router (its ``/metrics`` carries a
+``shards`` section) the report additionally breaks the traffic down per
+shard — forwarded requests, cache hits, fast hits — plus the ring's
+``imbalance`` (max-over-ideal request share).
 """
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -31,7 +39,12 @@ from ..workloads.generators import make_workload
 from .client import ServiceClient, ServiceHTTPError
 from .core import canonical_json
 
-__all__ = ["PhaseStats", "build_workload_payloads", "run_loadtest"]
+__all__ = [
+    "PhaseStats",
+    "build_workload_payloads",
+    "run_loadtest",
+    "shard_distribution",
+]
 
 
 @dataclass
@@ -108,16 +121,23 @@ def _run_phase(
     *,
     name: str,
     concurrency: int,
+    encoded: Sequence[bytes] | None = None,
 ) -> tuple[PhaseStats, list[dict | None]]:
-    """Fire every payload once through ``concurrency`` client threads."""
+    """Fire every payload once through ``concurrency`` client threads.
+
+    ``encoded`` carries the payloads pre-serialised to bytes so replayed
+    phases measure the service, not the client's ``json.dumps``.
+    """
 
     responses: list[dict | None] = [None] * len(payloads)
+    if encoded is None:
+        encoded = [json.dumps(p).encode() for p in payloads]
 
     def fire(index: int) -> float | None:
         """Returns the request latency in ms, or ``None`` on error."""
         start = time.perf_counter()
         try:
-            responses[index] = client.schedule_payload(payloads[index])
+            responses[index] = client.schedule_raw(encoded[index])
         except (ServiceHTTPError, OSError):
             return None
         return (time.perf_counter() - start) * 1e3
@@ -144,6 +164,35 @@ def _run_phase(
     return stats, responses
 
 
+def shard_distribution(server_metrics: dict) -> tuple[dict | None, dict | None]:
+    """Per-shard traffic breakdown of a cluster ``/metrics`` snapshot.
+
+    Returns ``(distribution, imbalance)``, both ``None`` when the target was
+    a plain single-process daemon (no ``shards`` section in its metrics).
+    """
+    if not isinstance(server_metrics, dict) or "shards" not in server_metrics:
+        return None, None
+    per_shard_router = server_metrics.get("router", {}).get("per_shard", {})
+    distribution: dict[str, dict] = {}
+    # Shard ids are stringified ints (JSON keys): sort numerically so
+    # clusters with >= 10 shards report 0,1,2,...,10 not 0,1,10,11,2,...
+    for shard_id, view in sorted(
+        server_metrics["shards"].items(), key=lambda kv: int(kv[0])
+    ):
+        shard = {
+            "requests_forwarded": per_shard_router.get(shard_id, {}).get("requests", 0),
+            "errors": per_shard_router.get(shard_id, {}).get("errors", 0),
+            "alive": bool(view.get("alive")),
+        }
+        metrics = view.get("metrics") or {}
+        cache = metrics.get("cache", {})
+        shard["cache_hits"] = cache.get("hits", 0)
+        shard["cache_size"] = cache.get("size", 0)
+        shard["fast_hits"] = metrics.get("fast_hits", 0)
+        distribution[shard_id] = shard
+    return distribution, server_metrics.get("imbalance")
+
+
 def run_loadtest(
     base_url: str,
     *,
@@ -159,15 +208,18 @@ def run_loadtest(
     validate: bool = False,
     include_adversarial: bool = True,
     client_timeout: float = 300.0,
+    retries: int = 3,
 ) -> dict:
     """Run the cold/warm load test against ``base_url``; returns a report dict.
 
     The report carries both phases (:class:`PhaseStats` shapes), the
     warm-over-cold throughput ``speedup``, a ``consistent`` flag (every warm
-    ``result`` byte-identical to its cold counterpart under canonical JSON)
-    and the server's own ``/metrics`` snapshot.
+    ``result`` byte-identical to its cold counterpart under canonical JSON),
+    the total 503-retry count absorbed by the client, the server's own
+    ``/metrics`` snapshot, and — against a sharded cluster — the per-shard
+    hit distribution plus the ring imbalance.
     """
-    client = ServiceClient(base_url, timeout=client_timeout)
+    client = ServiceClient(base_url, timeout=client_timeout, retries=retries)
     payloads = build_workload_payloads(
         families=families,
         instances=instances,
@@ -179,8 +231,9 @@ def run_loadtest(
         validate=validate,
         include_adversarial=include_adversarial,
     )
+    encoded = [json.dumps(p).encode() for p in payloads]
     cold, cold_responses = _run_phase(
-        client, payloads, name="cold", concurrency=concurrency
+        client, payloads, name="cold", concurrency=concurrency, encoded=encoded
     )
     reference = [
         canonical_json(r["result"]) if r is not None else None for r in cold_responses
@@ -189,7 +242,7 @@ def run_loadtest(
     consistent = True
     for _ in range(repeats):
         stats, responses = _run_phase(
-            client, payloads, name="warm", concurrency=concurrency
+            client, payloads, name="warm", concurrency=concurrency, encoded=encoded
         )
         warm_stats.append(stats)
         for ref, resp in zip(reference, responses):
@@ -204,7 +257,9 @@ def run_loadtest(
         p50_ms=float(np.median([s.p50_ms for s in warm_stats])) if warm_stats else 0.0,
         p99_ms=float(max(s.p99_ms for s in warm_stats)) if warm_stats else 0.0,
     )
-    return {
+    server_metrics = client.metrics()
+    distribution, imbalance = shard_distribution(server_metrics)
+    report = {
         "config": {
             "base_url": base_url,
             "families": list(families),
@@ -219,10 +274,16 @@ def run_loadtest(
             "validate": validate,
             "include_adversarial": include_adversarial,
             "pool_size": len(payloads),
+            "retries": retries,
         },
         "cold": cold.as_dict(),
         "warm": warm.as_dict(),
         "speedup": (warm.rps / cold.rps) if cold.rps > 0 else float("inf"),
         "consistent": consistent,
-        "server_metrics": client.metrics(),
+        "retries_total": client.retries_total,
+        "server_metrics": server_metrics,
     }
+    if distribution is not None:
+        report["shard_distribution"] = distribution
+        report["imbalance"] = imbalance
+    return report

@@ -14,10 +14,20 @@ bodies) exposing:
 ``GET /metrics``
     The :meth:`SchedulerService.metrics` JSON (request counts, cache
     hit/miss, latency percentiles, queue depth, rejections).
+``POST /purge``
+    Explicit cache-eviction control message (the shared-nothing eviction
+    protocol of the sharded cluster): drops expired entries now, or the whole
+    cache with body ``{"all": true}``.  Returns the purge counts.
 ``POST /shutdown``
     Graceful stop — only honoured when the server was created with
     ``allow_shutdown=True`` (tests, CI smoke jobs, self-hosted load tests);
     403 otherwise.
+
+Shard deployments (:mod:`repro.service.cluster`) create the server with
+``trust_fast_headers=True``: when the router forwarded a request with the
+precomputed cache-key headers (``X-Repro-Fingerprint`` & co.), a cache hit is
+served straight from the handler thread without parsing the body — the shard
+"owns" its cache slice and answers hits locally.
 
 No third-party dependencies: the whole frontend is ``http.server`` +
 ``json``, matching the repo's stdlib-only constraint.
@@ -32,39 +42,91 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..exceptions import ModelError, ReproError, ServiceOverloadedError
+from .cache import MISS
 from .core import SchedulerService, request_from_payload
 
-__all__ = ["ServiceHTTPServer", "make_server", "start_background_server"]
+__all__ = [
+    "JsonRequestHandler",
+    "ServiceHTTPServer",
+    "make_server",
+    "start_background_server",
+]
 
 #: Refuse request bodies larger than this (64 MiB) — a crude but effective
 #: guard against memory exhaustion from a single client.
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
-class _Handler(BaseHTTPRequestHandler):
-    server: "ServiceHTTPServer"
-    protocol_version = "HTTP/1.1"
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for the service's JSON-over-HTTP handlers.
 
-    # ------------------------------------------------------------------ #
-    # plumbing
-    # ------------------------------------------------------------------ #
+    Used by the daemon/shard handler below and by the cluster router's
+    handler: keep-alive semantics (HTTP/1.1, Nagle disabled — responses are
+    written as two sends and a keep-alive peer would otherwise pay Nagle +
+    delayed-ACK ~40ms per reply), JSON responses with correct
+    ``Connection: close`` signalling, oversized-body rejection and the
+    optional ``/purge`` body parse all live here so the two frontends
+    cannot drift apart.
+    """
+
+    protocol_version = "HTTP/1.1"
+    disable_nagle_algorithm = True
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def _send_body(self, status: int, body: bytes) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # An unconsumed request body would desynchronise a keep-alive
+            # connection (its bytes would be parsed as the next request
+            # line) — tell the client and drop the socket after replying.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(status, json.dumps(payload).encode())
+
+    def _checked_content_length(self) -> int | None:
+        """Content-Length, or ``None`` after rejecting an oversized body."""
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # rejected without draining
+            self._send_json(
+                400, {"error": f"request body larger than {MAX_BODY_BYTES} bytes"}
+            )
+            return None
+        return length
+
+    def _read_purge_payload(self) -> dict | None:
+        """Optional ``/purge`` body, or ``None`` when a 400 was already sent."""
+        length = self._checked_content_length()
+        if length is None:
+            return None
+        if length > 0:
+            try:
+                payload = self.rfile.read(length)
+                decoded = json.loads(payload)
+            except (json.JSONDecodeError, ValueError):
+                self._send_json(400, {"error": "purge body is not valid JSON"})
+                return None
+            return decoded if isinstance(decoded, dict) else {}
+        return {}
+
+
+class _Handler(JsonRequestHandler):
+    server: "ServiceHTTPServer"
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
             raise ModelError("missing or empty request body")
         if length > MAX_BODY_BYTES:
+            self.close_connection = True  # rejected without draining
             raise ModelError(f"request body larger than {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length)
         try:
@@ -92,13 +154,56 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         if self.path == "/schedule":
             self._handle_schedule()
+        elif self.path == "/purge":
+            self._handle_purge()
         elif self.path == "/shutdown":
             self._handle_shutdown()
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
+    def _try_fast_hit(self) -> bool:
+        """Serve a cache hit keyed by trusted router headers; True if served.
+
+        Only active with ``trust_fast_headers`` (shard workers behind the
+        cluster router).  The router already parsed and fingerprinted the
+        payload, so the full cache key travels in headers and a hit skips
+        body parsing, fingerprinting and the dispatcher queue entirely.  On a
+        miss nothing is consumed from the request stream — the caller falls
+        through to the normal pipeline.
+        """
+        if not self.server.trust_fast_headers:
+            return False
+        fingerprint = self.headers.get("X-Repro-Fingerprint")
+        if not fingerprint:
+            return False
+        start = time.perf_counter()
+        key = (
+            fingerprint,
+            self.headers.get("X-Repro-Algorithm", "mrt"),
+            self.headers.get("X-Repro-Params", "{}"),
+            self.headers.get("X-Repro-Validate", "0") == "1",
+        )
+        payload = self.server.service.serve_cached(key)
+        if payload is MISS:
+            return False
+        # Drain the (unparsed) body so the keep-alive connection stays usable.
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # too big to drain: drop the socket
+        elif length > 0:
+            self.rfile.read(length)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        self.server.service.note_latency(elapsed_ms)
+        response = dict(payload)  # shallow: "result" is shared and read-only
+        response["cache_hit"] = True
+        response["elapsed_ms"] = elapsed_ms
+        self._send_json(200, response)
+        return True
+
     def _handle_schedule(self) -> None:
         try:
+            if self._try_fast_hit():
+                return
             request = request_from_payload(self._read_json())
             response = self.server.service.schedule(
                 request, timeout=self.server.request_timeout
@@ -119,6 +224,24 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
         else:
             self._send_json(200, response)
+
+    def _handle_purge(self) -> None:
+        """Explicit eviction message: drop expired entries (or everything)."""
+        payload = self._read_purge_payload()
+        if payload is None:
+            return
+        cache = self.server.service.cache
+        cleared = 0
+        if payload.get("all"):
+            cleared = len(cache)
+            cache.clear()
+            expired = 0
+        else:
+            expired = cache.purge_expired()
+        self._send_json(
+            200,
+            {"expired_purged": expired, "cleared": cleared, "size": len(cache)},
+        )
 
     def _handle_shutdown(self) -> None:
         if not self.server.allow_shutdown:
@@ -143,12 +266,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         allow_shutdown: bool = False,
         request_timeout: float | None = 300.0,
         verbose: bool = False,
+        trust_fast_headers: bool = False,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.allow_shutdown = allow_shutdown
         self.request_timeout = request_timeout
         self.verbose = verbose
+        self.trust_fast_headers = trust_fast_headers
         self.started = time.monotonic()
         self._serve_started = False
 

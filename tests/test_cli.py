@@ -146,6 +146,55 @@ class TestServe:
         assert codes == [0]
 
 
+class TestServeCluster:
+    def test_sharded_serve_round_trip_and_clean_shutdown(self, tmp_path):
+        """Boot `serve --shards 2`, replay an instance through the router."""
+        from repro.service import ServiceClient
+        from repro.workloads.generators import make_workload
+
+        ready = tmp_path / "ready"
+        codes: list[int] = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve",
+                        "--port",
+                        "0",
+                        "--shards",
+                        "2",
+                        "--shard-backend",
+                        "thread",
+                        "--workers",
+                        "2",
+                        "--allow-shutdown",
+                        "--ready-file",
+                        str(ready),
+                    ]
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert ready.exists(), "cluster never wrote the ready file"
+        host, port = ready.read_text().split()
+        client = ServiceClient(f"http://{host}:{port}")
+        health = client.healthz()
+        assert health["status"] == "ok" and health["shards"] == 2
+        instance = make_workload("uniform", 4, 4, seed=1)
+        response = client.schedule(instance)
+        assert response["result"]["makespan"] > 0
+        assert client.schedule(instance)["cache_hit"] is True
+        assert client.metrics()["cluster"]["shards"] == 2
+        client.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "serve did not exit after /shutdown"
+        assert codes == [0]
+
+
 class TestLoadtest:
     def test_self_hosted_loadtest(self, capsys):
         code = main(
@@ -174,3 +223,39 @@ class TestLoadtest:
         report = json.loads(bench_lines[0][len("BENCH "):])
         assert report["warm"]["cache_hits"] == report["warm"]["requests"]
         assert report["cold"]["errors"] == 0
+        assert report["retries_total"] == 0
+        assert "shard_distribution" not in report  # single-process target
+
+    def test_self_hosted_sharded_loadtest(self, capsys):
+        code = main(
+            [
+                "loadtest",
+                "--shards",
+                "2",
+                "--instances",
+                "4",
+                "--tasks",
+                "5",
+                "--procs",
+                "4",
+                "--repeats",
+                "1",
+                "--concurrency",
+                "2",
+                "--no-adversarial",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "self-hosted 2-shard cluster" in out
+        assert "shard imbalance" in out
+        bench_lines = [l for l in out.splitlines() if l.startswith("BENCH ")]
+        report = json.loads(bench_lines[0][len("BENCH "):])
+        assert report["warm"]["cache_hits"] == report["warm"]["requests"]
+        assert set(report["shard_distribution"]) == {"0", "1"}
+        forwarded = sum(
+            s["requests_forwarded"] for s in report["shard_distribution"].values()
+        )
+        assert forwarded >= report["cold"]["requests"] + report["warm"]["requests"]
+        assert report["imbalance"]["max_over_ideal"] >= 1.0

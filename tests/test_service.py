@@ -67,6 +67,23 @@ class TestLRUTTLCache:
         cache.put("c", 3)
         assert cache.purge_expired() == 2
         assert len(cache) == 1
+        # Eager purges are counted separately from lazy on-access expiry.
+        assert cache.stats.expired_purged == 2
+        assert cache.stats.evictions_ttl == 0
+        assert cache.stats.as_dict()["expired_purged"] == 2
+
+    def test_get_if_hit_counts_hits_but_not_misses(self):
+        now = [0.0]
+        cache = LRUTTLCache(4, ttl=5.0, clock=lambda: now[0])
+        assert cache.get_if_hit("a") is MISS
+        assert cache.stats.misses == 0  # the probe is not the real lookup
+        cache.put("a", 1)
+        assert cache.get_if_hit("a") == 1
+        assert cache.stats.hits == 1
+        now[0] = 6.0
+        assert cache.get_if_hit("a") is MISS  # expired: dropped + counted
+        assert cache.stats.evictions_ttl == 1
+        assert cache.stats.misses == 0
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -236,6 +253,26 @@ class TestServiceCache:
             response["result"]["makespan"]
         )
 
+    def test_drain_loop_purges_expired_entries(self, small_instance):
+        """Long-idle services must not pin dead entries until the next get."""
+        now = [0.0]
+        with SchedulerService(
+            workers=2, cache_ttl=30.0, purge_interval=0.05, clock=lambda: now[0]
+        ) as service:
+            service.schedule(ScheduleRequest(instance=small_instance))
+            assert len(service.cache) == 1
+            now[0] = 31.0  # entry is now expired; no request ever touches it
+            deadline = time.monotonic() + 5.0
+            while len(service.cache) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert len(service.cache) == 0
+            assert service.cache.stats.expired_purged == 1
+            assert service.metrics()["cache"]["expired_purged"] == 1
+
+    def test_purge_interval_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerService(purge_interval=0.0, autostart=False)
+
 
 # --------------------------------------------------------------------------- #
 # micro-batching & backpressure
@@ -320,6 +357,18 @@ class TestHTTPFrontend:
         metrics = client.metrics()
         for key in ("requests_total", "cache", "latency", "queue_depth", "rejections"):
             assert key in metrics
+        # Satellite: warm/cold analysis needs the cache stats in the body.
+        for key in ("hits", "misses", "hit_rate", "evictions_lru", "evictions_ttl",
+                    "expired_purged", "size"):
+            assert key in metrics["cache"]
+        assert "fast_hits" in metrics
+
+    def test_purge_endpoint(self, client, small_instance):
+        client.schedule(small_instance)
+        assert client.schedule(small_instance)["cache_hit"] is True
+        report = client.purge(all=True)
+        assert report["cleared"] >= 1 and report["size"] == 0
+        assert client.schedule(small_instance)["cache_hit"] is False
 
     def test_schedule_round_trip_and_hit(self, client, small_instance):
         first = client.schedule(small_instance)
