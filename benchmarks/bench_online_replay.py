@@ -1,0 +1,142 @@
+"""Online replay benchmark: epoch rescheduling vs clairvoyant offline MRT.
+
+Replays Poisson (and burst) arrival traces through the
+:class:`~repro.online.epoch.EpochRescheduler` — event-driven and with a
+batching quantum — and compares the stitched online makespan against the
+*clairvoyant* baseline: offline MRT handed the entire task set up front with
+release dates erased.  The clairvoyant makespan lower-bounds what any
+release-respecting schedule can realistically target, so the reported
+quotient is an upper bound on the true competitive ratio.
+
+Enforced bars:
+
+* every stitched timeline passes ``simulate_and_check(respect_release=True)``
+  (static + dynamic validation, release dates enforced);
+* the online makespan is at most ``--max-ratio`` (default 2.0) times the
+  clairvoyant offline makespan on every benchmark trace.
+
+Run directly (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_online_replay.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.online import EpochRescheduler
+from repro.registry import make_scheduler
+from repro.sim.validate import simulate_and_check
+from repro.workloads.arrivals import make_trace
+
+
+def run_trace(
+    pattern: str,
+    family: str,
+    tasks: int,
+    procs: int,
+    seed: int,
+    quantum: float | None,
+    algorithm: str = "mrt",
+) -> dict:
+    """Replay one trace; returns the comparison record (validated)."""
+    trace = make_trace(pattern, family, tasks, procs, seed=seed)
+    rescheduler = EpochRescheduler(algorithm, quantum=quantum)
+    result = rescheduler.replay(trace)
+    simulate_and_check(result.schedule, respect_release=True)
+    offline = make_scheduler(algorithm).schedule(trace)
+    offline_makespan = offline.makespan()
+    metrics = result.metrics()
+    releases = trace.release_times
+    return {
+        "pattern": pattern,
+        "family": family,
+        "tasks": tasks,
+        "procs": procs,
+        "seed": seed,
+        "quantum": quantum,
+        "arrival_span": float(releases.max() - releases.min()),
+        "num_epochs": result.num_epochs,
+        "online_makespan": metrics["makespan"],
+        "offline_makespan": offline_makespan,
+        "ratio": metrics["makespan"] / offline_makespan,
+        "mean_flow": metrics["mean_flow"],
+        "max_flow": metrics["max_flow"],
+        "mean_stretch": metrics["mean_stretch"],
+        "utilization": metrics["utilization"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="bar: online makespan / clairvoyant offline makespan, per trace",
+    )
+    args = parser.parse_args(argv)
+
+    tasks = 16 if args.quick else 40
+    procs = 8 if args.quick else 16
+    seeds = [0, 1] if args.quick else [0, 1, 2, 3]
+    configs = [("poisson", None), ("poisson", "quantum"), ("burst", None)]
+    if not args.quick:
+        configs.append(("diurnal", None))
+
+    records = []
+    for pattern, mode in configs:
+        for seed in seeds:
+            # A meaningful batching quantum is trace-relative: a tenth of the
+            # arrival span groups a handful of arrivals per epoch.
+            quantum = None
+            if mode == "quantum":
+                probe = make_trace(pattern, "mixed", tasks, procs, seed=seed)
+                span = float(probe.release_times.max())
+                quantum = span / 10.0 if span > 0 else None
+            record = run_trace(pattern, "mixed", tasks, procs, seed, quantum)
+            records.append(record)
+            print(
+                f"{pattern:8s} seed={seed}  "
+                f"quantum={'-' if quantum is None else format(quantum, '.3g'):>6s}  "
+                f"epochs={record['num_epochs']:3d}  "
+                f"online={record['online_makespan']:9.4g}  "
+                f"offline={record['offline_makespan']:9.4g}  "
+                f"ratio={record['ratio']:.3f}  "
+                f"stretch={record['mean_stretch']:.2f}"
+            )
+
+    worst = max(records, key=lambda r: r["ratio"])
+    mean_ratio = sum(r["ratio"] for r in records) / len(records)
+    print(
+        f"competitive ratio vs clairvoyant offline MRT: "
+        f"mean {mean_ratio:.3f}, worst {worst['ratio']:.3f} "
+        f"({worst['pattern']} seed={worst['seed']}); bar {args.max_ratio:.1f}x"
+    )
+    print("all stitched timelines passed simulate_and_check with release dates")
+
+    bench = {
+        "benchmark": "online_replay",
+        "quick": args.quick,
+        "max_ratio": args.max_ratio,
+        "mean_ratio": mean_ratio,
+        "worst_ratio": worst["ratio"],
+        "records": records,
+    }
+    print("BENCH " + json.dumps(bench, sort_keys=True))
+
+    if worst["ratio"] > args.max_ratio:
+        print(
+            f"FAIL: {worst['pattern']} seed={worst['seed']} ratio "
+            f"{worst['ratio']:.3f} exceeds the {args.max_ratio:.1f}x bar"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,7 @@ from .lower_bounds import (
 )
 from .workloads import (
     heavy_tailed_instance,
+    make_trace,
     make_workload,
     mixed_instance,
     ocean_instance,
@@ -81,6 +82,7 @@ from .workloads import (
     rigid_heavy_instance,
     uniform_instance,
 )
+from .online import EpochRescheduler, ReplayResult
 from .analysis import (
     evaluate_schedule,
     gantt_chart,
@@ -143,7 +145,11 @@ __all__ = [
     "rigid_heavy_instance",
     "random_monotonic_instance",
     "make_workload",
+    "make_trace",
     "ocean_instance",
+    # online replay
+    "EpochRescheduler",
+    "ReplayResult",
     # analysis & simulation
     "evaluate_schedule",
     "gantt_chart",

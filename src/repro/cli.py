@@ -2,9 +2,12 @@
 
 Sub-commands
 ------------
-``generate``  Generate a synthetic instance and write it as JSON.
+``generate``  Generate a synthetic instance (optionally an online arrival
+              trace) and write it as JSON.
 ``schedule``  Schedule an instance (JSON file or generated on the fly) with a
               chosen algorithm and print the metrics and Gantt chart.
+``replay``    Replay an online arrival trace with epoch rescheduling,
+              streaming per-epoch metrics (see :mod:`repro.online`).
 ``compare``   Run the EXP-A style comparison sweep and print the summary table.
 ``mstar``     Print the m*(μ) curve of Figure 8.
 ``serve``     Run the HTTP scheduling service (see :mod:`repro.service`).
@@ -29,6 +32,7 @@ from .exceptions import ModelError
 from .model.instance import Instance
 from .registry import ALGORITHMS, make_scheduler
 from .scheduler import Scheduler
+from .workloads.arrivals import ARRIVAL_PATTERNS, make_trace
 from .workloads.generators import WORKLOAD_FAMILIES, make_workload
 from .workloads.ocean import ocean_instance
 
@@ -55,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--tasks", type=int, default=32)
     gen.add_argument("--procs", type=int, default=16)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--arrivals",
+        default=None,
+        choices=sorted(ARRIVAL_PATTERNS),
+        help="attach release times following this arrival pattern "
+        "(emits an online trace; incompatible with --family ocean)",
+    )
     gen.add_argument("--output", type=Path, default=None, help="JSON output path (stdout by default)")
 
     sch = sub.add_parser("schedule", help="schedule an instance and print metrics")
@@ -65,6 +76,50 @@ def build_parser() -> argparse.ArgumentParser:
     sch.add_argument("--procs", type=int, default=16)
     sch.add_argument("--seed", type=int, default=0)
     sch.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    rep = sub.add_parser(
+        "replay", help="replay an online arrival trace with epoch rescheduling"
+    )
+    rep.add_argument(
+        "--trace", type=Path, default=None, help="trace JSON (otherwise generate one)"
+    )
+    rep.add_argument("--pattern", default="poisson", choices=sorted(ARRIVAL_PATTERNS))
+    rep.add_argument("--family", default="mixed", choices=sorted(WORKLOAD_FAMILIES))
+    rep.add_argument("--tasks", type=int, default=32)
+    rep.add_argument("--procs", type=int, default=16)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="Poisson arrival rate, tasks per time unit (--pattern poisson only)",
+    )
+    rep.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="arrival horizon (default: the trace's offline lower bound)",
+    )
+    rep.add_argument(
+        "--quantum",
+        type=float,
+        default=None,
+        help="minimum spacing between epoch starts (default: event-driven — "
+        "reschedule as soon as the machine drains)",
+    )
+    rep.add_argument("--algorithm", default="mrt", choices=sorted(ALGORITHMS))
+    rep.add_argument(
+        "--validate",
+        action="store_true",
+        help="simulate-and-check the stitched timeline (release dates enforced)",
+    )
+    rep.add_argument(
+        "--compare-offline",
+        action="store_true",
+        help="also run the clairvoyant offline scheduler on the full trace "
+        "and print the competitive ratio",
+    )
+    rep.add_argument("--json", action="store_true", help="also print a REPLAY JSON line")
 
     cmp_ = sub.add_parser("compare", help="run the EXP-A comparison sweep")
     cmp_.add_argument("--tasks", type=int, default=30)
@@ -204,8 +259,83 @@ def _load_or_generate(args: argparse.Namespace) -> Instance:
     if getattr(args, "input", None):
         return Instance.from_json(Path(args.input).read_text())
     if args.family == "ocean":
+        if getattr(args, "arrivals", None):
+            raise SystemExit("--arrivals is not supported with --family ocean")
         return ocean_instance(args.procs, seed=args.seed)
+    if getattr(args, "arrivals", None):
+        return make_trace(args.arrivals, args.family, args.tasks, args.procs, seed=args.seed)
     return make_workload(args.family, args.tasks, args.procs, seed=args.seed)
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay an online arrival trace, streaming per-epoch metrics."""
+    from .online import EpochRescheduler
+    from .sim.validate import simulate_and_check
+
+    try:
+        if args.trace is not None:
+            trace = Instance.from_json(Path(args.trace).read_text())
+        else:
+            if args.rate is not None and args.pattern != "poisson":
+                raise SystemExit("--rate only applies to --pattern poisson")
+            options = {
+                key: getattr(args, key)
+                for key in ("rate", "horizon")
+                if getattr(args, key) is not None
+            }
+            trace = make_trace(
+                args.pattern, args.family, args.tasks, args.procs,
+                seed=args.seed, **options,
+            )
+        rescheduler = EpochRescheduler(args.algorithm, quantum=args.quantum)
+    except ModelError as exc:
+        raise SystemExit(str(exc))
+    releases = trace.release_times
+    print(
+        f"trace: {trace.num_tasks} tasks, m={trace.num_procs}, "
+        f"arrival span {float(releases.max() - releases.min()):.4g}, "
+        f"algorithm={args.algorithm}, "
+        f"quantum={'event-driven' if not args.quantum else f'{args.quantum:g}'}"
+    )
+
+    def stream(epoch) -> None:
+        print(
+            f"epoch {epoch.index:3d}  t={epoch.start:10.4g}  "
+            f"tasks={epoch.num_tasks:4d}  makespan={epoch.makespan:10.4g}  "
+            f"wait={epoch.waiting:8.4g}",
+            flush=True,
+        )
+
+    result = rescheduler.replay(trace, on_epoch=stream)
+    metrics = result.metrics()
+    print(
+        f"replay: {metrics['num_epochs']} epochs  makespan={metrics['makespan']:.6g}  "
+        f"flow mean/max={metrics['mean_flow']:.4g}/{metrics['max_flow']:.4g}  "
+        f"stretch mean/max={metrics['mean_stretch']:.3f}/{metrics['max_stretch']:.3f}  "
+        f"utilization={metrics['utilization']:.3f}"
+    )
+    if args.validate:
+        sim = simulate_and_check(result.schedule, respect_release=True)
+        metrics["validated"] = True
+        print(
+            f"validated: simulated makespan {sim.makespan:.6g}, "
+            f"{len(sim.events)} events, releases respected"
+        )
+    if args.compare_offline:
+        offline = _make_scheduler(args.algorithm).schedule(trace)
+        ratio = (
+            metrics["makespan"] / offline.makespan() if offline.makespan() > 0 else 1.0
+        )
+        metrics["offline_makespan"] = offline.makespan()
+        metrics["competitive_ratio"] = ratio
+        print(
+            f"clairvoyant offline makespan={offline.makespan():.6g}  "
+            f"competitive ratio={ratio:.3f}"
+        )
+    if args.json:
+        metrics["epochs"] = [epoch.as_dict() for epoch in result.epochs]
+        print("REPLAY " + json.dumps(metrics, sort_keys=True))
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -420,6 +550,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.gantt:
             print(gantt_chart(schedule))
         return 0
+
+    if args.command == "replay":
+        return _cmd_replay(args)
 
     if args.command == "compare":
         result = sweep_workloads(

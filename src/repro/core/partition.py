@@ -83,6 +83,9 @@ class CanonicalPartition:
     q2: int = 0
     q3: int = 0
     small_packing: BinPackingResult | None = None
+    _shelf1_packing: BinPackingResult | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # canonical areas of the three sets (used by the theory module)
@@ -135,6 +138,24 @@ class CanonicalPartition:
     def pinned_to_shelf1(self) -> list[int]:
         """Tasks of T1 that cannot fit the second shelf on any allotment."""
         return [i for i in self.t1 if self.shelf2_procs[i] is None]
+
+    def first_shelf_packing(self) -> BinPackingResult | None:
+        """First-Fit packing of the T3 durations under the *first-shelf* deadline.
+
+        The trivial-solution configuration of Section 4.5 packs T3 under the
+        full deadline ``d`` (unlike :attr:`small_packing`, which packs under
+        the second-shelf deadline ``λ·d``).  Cached and shared by
+        :func:`repro.core.two_shelves.find_trivial_solution` and
+        :func:`repro.core.two_shelves.build_trivial_schedule`, so the
+        feasibility test and the builder can never disagree on the number of
+        processors the small tasks occupy.  ``None`` when T3 is empty.
+        """
+        if not self.t3:
+            return None
+        if self._shelf1_packing is None:
+            sizes = [float(self.alloc.times[i]) for i in self.t3]
+            self._shelf1_packing = first_fit(sizes, self.guess)
+        return self._shelf1_packing
 
 
 def build_partition(

@@ -33,7 +33,6 @@ from ..exceptions import InfeasibleError
 from ..model.instance import Instance
 from ..model.schedule import Schedule
 from ..model.task import EPS
-from ..packing.bin_packing import first_fit
 from .knapsack import KnapsackItem, knapsack_fptas, knapsack_max_profit, knapsack_min_weight
 from .partition import LAMBDA_STAR, CanonicalPartition, build_partition
 
@@ -80,16 +79,19 @@ def find_trivial_solution(part: CanonicalPartition) -> int | None:
     all of T2 at their canonical allotments, plus T3 packed First Fit under
     the first-shelf deadline ``d`` — fit side by side on the first shelf.
     Returns the task index or ``None``.
+
+    The T3 packing comes from the partition's shared
+    :meth:`~repro.core.partition.CanonicalPartition.first_shelf_packing`, the
+    same object :func:`build_trivial_schedule` materialises — so a ``τ``
+    accepted here always builds.
     """
     m = part.instance.num_procs
     if not part.t1:
         return None
     # Processors used on shelf 1 by T2 and T3 in the trivial configuration.
     q2 = part.q2
-    small_sizes = [float(part.alloc.times[i]) for i in part.t3]
-    q3_first_shelf = (
-        first_fit(small_sizes, part.guess).num_bins if small_sizes else 0
-    )
+    packing = part.first_shelf_packing()
+    q3_first_shelf = packing.num_bins if packing is not None else 0
     for tau in part.t1:
         d_tau = part.shelf2_procs[tau]
         if d_tau is None or d_tau > m:
@@ -219,7 +221,11 @@ def build_trivial_schedule(part: CanonicalPartition, tau: int) -> Schedule:
 
     Everything except ``tau`` goes on the first shelf (T1∖{τ} and T2 at
     canonical allotments, T3 packed First Fit under the deadline ``d``);
-    ``tau`` alone occupies the second shelf on ``d_τ`` processors.
+    ``tau`` alone occupies the second shelf on ``d_τ`` processors.  The T3
+    packing is the partition's shared
+    :meth:`~repro.core.partition.CanonicalPartition.first_shelf_packing` —
+    the exact packing :func:`find_trivial_solution` tested, so its verdict
+    cannot diverge from this builder.
     """
     instance = part.instance
     d_tau = part.shelf2_procs.get(tau)
@@ -238,8 +244,8 @@ def build_trivial_schedule(part: CanonicalPartition, tau: int) -> Schedule:
         schedule.add(i, 0.0, cursor, width)
         cursor += width
     if part.t3:
-        sizes = [float(part.alloc.times[i]) for i in part.t3]
-        packing = first_fit(sizes, part.guess)
+        packing = part.first_shelf_packing()
+        assert packing is not None  # t3 is non-empty
         for b, bin_items in enumerate(packing.bins):
             proc = cursor + b
             offset = 0.0

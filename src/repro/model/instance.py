@@ -27,7 +27,11 @@ from .task import EPS, MalleableTask
 __all__ = ["Instance", "profile_fingerprint"]
 
 
-def profile_fingerprint(num_procs: int, times_matrix: np.ndarray) -> str:
+def profile_fingerprint(
+    num_procs: int,
+    times_matrix: np.ndarray,
+    release_times: np.ndarray | Sequence[float] | None = None,
+) -> str:
     """Content hash shared by :meth:`Instance.fingerprint` and the service.
 
     Hashes the machine size and the ``(n, m)`` execution-time matrix at full
@@ -35,12 +39,23 @@ def profile_fingerprint(num_procs: int, times_matrix: np.ndarray) -> str:
     independent).  Exposed at module level so the service frontend can
     fingerprint a raw request payload without materialising the
     :class:`Instance` (the cache-hit fast path).
+
+    ``release_times`` extends the hash to online traces.  An all-zero (or
+    ``None``) release vector contributes *nothing* to the digest, so
+    release-free instances keep the exact fingerprint they had before
+    release dates existed — warm service caches stay valid for every
+    offline client.
     """
     times = np.ascontiguousarray(times_matrix, dtype="<f8")
     digest = hashlib.sha256()
     digest.update(b"repro-instance-v1")
     digest.update(f"{int(num_procs)}:{times.shape[0]}:{times.shape[1]}".encode())
     digest.update(times.tobytes())
+    if release_times is not None:
+        releases = np.ascontiguousarray(release_times, dtype="<f8")
+        if releases.size and np.any(releases != 0.0):
+            digest.update(b"releases-v1")
+            digest.update(releases.tobytes())
     return digest.hexdigest()
 
 
@@ -167,6 +182,34 @@ class Instance:
         return np.vstack([t.works for t in self._tasks])
 
     # ------------------------------------------------------------------ #
+    # release dates (online traces)
+    # ------------------------------------------------------------------ #
+    @property
+    def release_times(self) -> np.ndarray:
+        """Per-task release times, ``release_times[i] = r_i`` (0.0 offline)."""
+        return np.array([t.release_time for t in self._tasks], dtype=float)
+
+    @property
+    def has_releases(self) -> bool:
+        """Whether any task carries a non-zero release time."""
+        return any(t.release_time > 0.0 for t in self._tasks)
+
+    def with_releases(
+        self, releases: Sequence[float] | np.ndarray, *, name: str | None = None
+    ) -> "Instance":
+        """Same tasks and machine, with ``releases[i]`` as task ``i``'s release."""
+        arr = np.asarray(releases, dtype=float)
+        if arr.shape != (len(self._tasks),):
+            raise ModelError(
+                f"expected {len(self._tasks)} release times, got shape {arr.shape}"
+            )
+        return Instance(
+            [t.released(float(r)) for t, r in zip(self._tasks, arr)],
+            self._m,
+            name=name or self._name,
+        )
+
+    # ------------------------------------------------------------------ #
     # pickling (the engine cache is per-process state, not instance data)
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> dict:
@@ -282,11 +325,14 @@ class Instance:
         The hash covers exactly what the scheduling algorithms see — the
         machine size ``m`` and the stacked execution-time profiles at full
         ``float64`` precision (serialised little-endian, so the digest is
-        identical across architectures).  Labels (instance name, task names)
-        are deliberately *excluded*: two instances with the same profiles
-        produce the same schedules, so they must share a fingerprint for the
-        service result cache to recognise replayed workloads.  Task order
-        matters (schedules refer to tasks by index).
+        identical across architectures), plus the release-time vector when
+        any task has a non-zero release (release-free instances hash to the
+        exact pre-release-date digest, so warm service caches survive this
+        extension).  Labels (instance name, task names) are deliberately
+        *excluded*: two instances with the same profiles produce the same
+        schedules, so they must share a fingerprint for the service result
+        cache to recognise replayed workloads.  Task order matters
+        (schedules refer to tasks by index).
 
         Serialisation round-trips are fingerprint-preserving:
         ``Instance.from_json(inst.to_json()).fingerprint() ==
@@ -294,7 +340,11 @@ class Instance:
         its shortest round-trip ``repr`` (bit-exact under Python's JSON).
         """
         if self._fingerprint is None:
-            self._fingerprint = profile_fingerprint(self._m, self.times_matrix)
+            self._fingerprint = profile_fingerprint(
+                self._m,
+                self.times_matrix,
+                self.release_times if self.has_releases else None,
+            )
         return self._fingerprint
 
     def as_dict(self) -> dict:

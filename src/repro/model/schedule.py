@@ -216,6 +216,7 @@ class Schedule:
         require_complete: bool = True,
         require_contiguous: bool = True,
         deadline: float | None = None,
+        respect_release: bool = False,
         tol: float = 1e-6,
     ) -> None:
         """Check every structural constraint; raise on the first violation.
@@ -230,6 +231,10 @@ class Schedule:
             only verifies the block lies inside the machine.
         deadline:
             If given, additionally check ``makespan <= deadline + tol``.
+        respect_release:
+            Additionally check that no task starts before its release time
+            (the online-timeline constraint; off by default because the
+            offline schedulers ignore release dates).
         tol:
             Absolute tolerance for floating point comparisons.
         """
@@ -241,6 +246,11 @@ class Schedule:
             if entry.start < -tol:
                 raise InvalidScheduleError(
                     f"task {task.name!r} starts at negative time {entry.start}"
+                )
+            if respect_release and entry.start < task.release_time - tol:
+                raise InvalidScheduleError(
+                    f"task {task.name!r} starts at {entry.start:.6g} before its "
+                    f"release time {task.release_time:.6g}"
                 )
             if entry.num_procs < 1:
                 raise InvalidScheduleError(

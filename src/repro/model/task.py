@@ -49,6 +49,13 @@ class MalleableTask:
         monotonicity may then lose their guarantee (this mirrors the paper's
         remark that the assumption "can not be asserted for all the
         applications").
+    release_time:
+        Earliest time at which the task may start (default 0.0 — the paper's
+        offline setting).  Only the online replay layer
+        (:mod:`repro.online`) interprets release dates; the offline
+        schedulers ignore them, and :meth:`Schedule.validate
+        <repro.model.schedule.Schedule.validate>` checks them only when
+        asked (``respect_release=True``).
 
     Notes
     -----
@@ -56,7 +63,7 @@ class MalleableTask:
     counts are 1-based in the public API, matching the paper's notation.
     """
 
-    __slots__ = ("_name", "_times", "_works", "_monotonic")
+    __slots__ = ("_name", "_times", "_works", "_monotonic", "_release")
 
     def __init__(
         self,
@@ -64,6 +71,7 @@ class MalleableTask:
         times: Sequence[float] | np.ndarray,
         *,
         require_monotonic: bool = True,
+        release_time: float = 0.0,
     ) -> None:
         arr = np.asarray(times, dtype=float)
         if arr.ndim != 1 or arr.size == 0:
@@ -75,10 +83,17 @@ class MalleableTask:
             raise ModelError(f"task {name!r}: execution times must be finite")
         if np.any(arr <= 0.0):
             raise ModelError(f"task {name!r}: execution times must be positive")
+        release = float(release_time)
+        if not np.isfinite(release) or release < 0.0:
+            raise ModelError(
+                f"task {name!r}: release time must be finite and non-negative, "
+                f"got {release_time!r}"
+            )
         arr = arr.copy()
         arr.setflags(write=False)
         self._name = str(name)
         self._times = arr
+        self._release = release
         works = arr * np.arange(1, arr.size + 1, dtype=float)
         works.setflags(write=False)
         self._works = works
@@ -197,6 +212,11 @@ class MalleableTask:
         """Whether the stored profile satisfies the monotonic assumption."""
         return self._monotonic
 
+    @property
+    def release_time(self) -> float:
+        """Earliest start time of the task (0.0 in the offline setting)."""
+        return self._release
+
     def time(self, procs: int) -> float:
         """Execution time on ``procs`` processors (1-based)."""
         self._check_procs(procs)
@@ -278,14 +298,35 @@ class MalleableTask:
             raise ModelError("max_procs must be >= 1")
         limit = min(max_procs, self.max_procs)
         return MalleableTask(
-            self._name, self._times[:limit], require_monotonic=False
+            self._name,
+            self._times[:limit],
+            require_monotonic=False,
+            release_time=self._release,
         )
 
     def scaled(self, factor: float) -> "MalleableTask":
-        """A copy of the task with all execution times multiplied by ``factor``."""
+        """A copy of the task with all times (and the release) scaled by ``factor``.
+
+        The release time scales with the execution times so that scaling an
+        online trace rescales its whole time axis consistently.
+        """
         if factor <= 0:
             raise ModelError("scaling factor must be positive")
-        return MalleableTask(self._name, self._times * factor, require_monotonic=False)
+        return MalleableTask(
+            self._name,
+            self._times * factor,
+            require_monotonic=False,
+            release_time=self._release * factor,
+        )
+
+    def released(self, release_time: float) -> "MalleableTask":
+        """A copy of the task with the given release time (profile unchanged)."""
+        return MalleableTask(
+            self._name,
+            self._times,
+            require_monotonic=False,
+            release_time=release_time,
+        )
 
     def as_dict(self) -> dict:
         """JSON-serialisable representation of the task.
@@ -293,22 +334,36 @@ class MalleableTask:
         ``tolist`` converts the ``float64`` profile to native Python floats;
         ``json`` serialises those with their shortest round-trip ``repr``, so
         ``from_dict(as_dict())`` restores the exact same bits (pinned by a
-        property test).
+        property test).  The ``"release"`` key is only emitted for tasks with
+        a non-zero release time, so offline instances serialise to the exact
+        same bytes as before release dates existed.
         """
-        return {"name": self._name, "times": self._times.tolist()}
+        payload = {"name": self._name, "times": self._times.tolist()}
+        if self._release > 0.0:
+            payload["release"] = self._release
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MalleableTask":
         """Inverse of :meth:`as_dict`."""
-        return cls(payload["name"], payload["times"], require_monotonic=False)
+        return cls(
+            payload["name"],
+            payload["times"],
+            require_monotonic=False,
+            release_time=float(payload.get("release", 0.0)),
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MalleableTask):
             return NotImplemented
-        return self._name == other._name and np.array_equal(self._times, other._times)
+        return (
+            self._name == other._name
+            and self._release == other._release
+            and np.array_equal(self._times, other._times)
+        )
 
     def __hash__(self) -> int:
-        return hash((self._name, self._times.tobytes()))
+        return hash((self._name, self._release, self._times.tobytes()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,27 @@
+"""Online-arrival scheduling: epoch rescheduling over arrival traces.
+
+The paper's dual-approximation scheduler is defined for a fixed offline task
+set.  This subsystem opens the *online* workload class real clusters face:
+tasks are released over time (``MalleableTask.release_time``), and an
+:class:`~repro.online.epoch.EpochRescheduler` replays the trace by
+rescheduling the pending set with any registry algorithm at every epoch
+boundary, stitching the per-epoch schedules into one validated timeline.
+
+* :mod:`repro.online.epoch` — the epoch rescheduler and its replay metrics
+  (flow time, stretch, utilisation);
+* :mod:`repro.online.replay` — the service/CLI integration layer
+  (``POST /replay`` payloads, response shaping);
+* :mod:`repro.workloads.arrivals` — Poisson / burst / diurnal arrival-trace
+  generators over the existing workload families.
+"""
+
+from .epoch import EpochReport, EpochRescheduler, ReplayResult
+from .replay import compute_replay_response, replay_from_payload
+
+__all__ = [
+    "EpochReport",
+    "EpochRescheduler",
+    "ReplayResult",
+    "compute_replay_response",
+    "replay_from_payload",
+]

@@ -1,0 +1,113 @@
+"""Service and CLI integration for online replays (``POST /replay``).
+
+Translates a decoded JSON payload into an :class:`~repro.online.epoch.
+EpochRescheduler` run and shapes the response the HTTP frontend and the CLI
+stream back:
+
+``replay_from_payload``
+    Parse ``{"trace" | "generate", "algorithm", "params", "quantum",
+    "validate"}`` into ``(Instance, EpochRescheduler, validate)``.  A
+    ``"trace"`` is an :meth:`Instance.as_dict` payload (tasks may carry
+    ``"release"``); a ``"generate"`` spec draws a synthetic trace from
+    :mod:`repro.workloads.arrivals` (``{"pattern", "family", "tasks",
+    "procs", "seed", ...}``).
+``compute_replay_response``
+    Run the replay and build the JSON-serialisable response: the summary
+    metrics, the per-epoch reports, the stitched schedule, the trace
+    fingerprint and (optionally) an independent simulate-and-check
+    validation with release dates enforced.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ModelError
+from ..model.instance import Instance
+from ..sim.validate import simulate_and_check
+from ..workloads.arrivals import ARRIVAL_PATTERNS, make_trace
+from .epoch import EpochRescheduler
+
+__all__ = ["compute_replay_response", "replay_from_payload"]
+
+#: ``generate`` keys forwarded to the arrival-pattern generators verbatim.
+_GENERATE_OPTIONS = (
+    "rate",
+    "horizon",
+    "bursts",
+    "jitter",
+    "periods",
+    "peak_to_trough",
+)
+
+
+def replay_from_payload(payload: dict) -> tuple[Instance, EpochRescheduler, bool]:
+    """Parse a ``POST /replay`` body; raises :class:`ModelError` on bad input."""
+    if not isinstance(payload, dict):
+        raise ModelError("request body must be a JSON object")
+    if ("trace" in payload) == ("generate" in payload):
+        raise ModelError("request must carry exactly one of 'trace' or 'generate'")
+    try:
+        if "trace" in payload:
+            trace = Instance.from_dict(payload["trace"])
+        else:
+            spec = payload["generate"]
+            if not isinstance(spec, dict):
+                raise ModelError("'generate' must be an object")
+            pattern = spec.get("pattern", "poisson")
+            if pattern not in ARRIVAL_PATTERNS:
+                raise ModelError(
+                    f"unknown arrival pattern {pattern!r}; choose from "
+                    f"{sorted(ARRIVAL_PATTERNS)}"
+                )
+            options = {
+                key: spec[key] for key in _GENERATE_OPTIONS if key in spec
+            }
+            trace = make_trace(
+                pattern,
+                spec.get("family", "mixed"),
+                int(spec.get("tasks", 32)),
+                int(spec.get("procs", 16)),
+                seed=int(spec.get("seed", 0)),
+                **options,
+            )
+    except ModelError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(f"malformed replay request: {exc}") from exc
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ModelError("'params' must be an object")
+    algorithm = payload.get("algorithm", "mrt")
+    if not isinstance(algorithm, str):
+        raise ModelError("'algorithm' must be a string")
+    quantum = payload.get("quantum")
+    if quantum is not None:
+        try:
+            quantum = float(quantum)
+        except (TypeError, ValueError) as exc:
+            raise ModelError("'quantum' must be a number or null") from exc
+    rescheduler = EpochRescheduler(algorithm, params, quantum=quantum)
+    return trace, rescheduler, bool(payload.get("validate", False))
+
+
+def compute_replay_response(
+    trace: Instance, rescheduler: EpochRescheduler, validate: bool
+) -> dict:
+    """Run the replay and shape the ``POST /replay`` response payload."""
+    result = rescheduler.replay(trace)
+    payload: dict = {
+        "result": {
+            **result.metrics(),
+            "epochs": [epoch.as_dict() for epoch in result.epochs],
+            "schedule": result.schedule.as_dict(),
+        },
+        "fingerprint": trace.fingerprint(),
+        "validation": None,
+    }
+    if validate:
+        sim = simulate_and_check(result.schedule, respect_release=True)
+        payload["validation"] = {
+            "simulated_makespan": sim.makespan,
+            "utilization": sim.utilization,
+            "events": len(sim.events),
+        }
+    return payload

@@ -3,10 +3,10 @@
 The paper packs the "small" sequential tasks (canonical execution time at
 most d/2) onto processors with the *First Fit* algorithm of Johnson et al.
 [11]: processors are bins of capacity equal to the shelf deadline and task
-durations are item sizes.  The only property the analysis needs is the
-classical First Fit guarantee quoted in Section 4.1: if First Fit opens more
-than one bin, then the total item size exceeds half the capacity times the
-number of bins used.
+durations are item sizes.  The only property the analysis of Section 4.1
+needs is the classical First Fit guarantee: at most one bin ends up at most
+half full, hence ``Σ sizes > (num_bins - 1) * capacity/2`` whenever more
+than one bin is opened.
 
 Besides First Fit this module provides First Fit Decreasing and Best Fit
 (used by the baselines and exercised in the tests), all sharing the
@@ -111,9 +111,19 @@ def _pack(
 def first_fit(sizes: Sequence[float], capacity: float) -> BinPackingResult:
     """First Fit in input order (the packing used by the paper, FF).
 
-    Guarantee used in the analysis: if more than one bin is opened, every bin
-    except possibly the last has load greater than half the capacity, hence
-    ``Σ sizes > capacity/2 · (num_bins)`` whenever ``num_bins >= 2``.
+    Guarantee used in the analysis (Section 4.1): **at most one** bin has
+    load at most ``capacity/2`` (two such bins would have been merged by the
+    greedy rule), hence ``Σ sizes > (num_bins − 1) · capacity/2`` whenever
+    ``num_bins >= 2``.
+
+    A previous revision overstated this as ``Σ sizes > capacity/2 ·
+    num_bins`` "because every bin except possibly the last is more than half
+    full".  That justification is wrong on both counts: the at-most-half-full
+    bin need not be the *last* one (``sizes = [0.9, 0.3, 0.8]`` at capacity 1
+    packs to loads ``[0.9, 0.3, 0.8]`` — the middle bin stays light), and
+    "all but one bin > capacity/2" only yields the ``(num_bins − 1)`` form
+    stated above, which is exactly what the two-shelf analysis needs.  Both
+    facts are pinned by property tests in ``test_bin_packing.py``.
     """
     return _pack(sizes, capacity, range(len(sizes)), best_fit_rule=False)
 

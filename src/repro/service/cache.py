@@ -123,14 +123,26 @@ class LRUTTLCache:
         return self._lookup(key, count_miss=False)
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key``; evicts the LRU entry beyond capacity."""
+        """Insert or refresh ``key``; evicts the LRU entry beyond capacity.
+
+        Entries popped by the capacity loop that were *already past their
+        TTL* are counted as ``evictions_ttl``, not ``evictions_lru``: they
+        were dead regardless of capacity pressure, and classifying them as
+        LRU evictions would skew the eviction split that the cluster
+        supervisor aggregates into ``/metrics`` (a busy shard with a short
+        TTL would look capacity-starved when it is merely expiring).
+        """
         with self._lock:
+            now = self._clock()
             if key in self._data:
                 self._data.move_to_end(key)
-            self._data[key] = (self._clock(), value)
+            self._data[key] = (now, value)
             while len(self._data) > self.capacity:
-                self._data.popitem(last=False)
-                self.stats.evictions_lru += 1
+                _, (stored_at, _) = self._data.popitem(last=False)
+                if self.ttl is not None and now - stored_at > self.ttl:
+                    self.stats.evictions_ttl += 1
+                else:
+                    self.stats.evictions_lru += 1
 
     def purge_expired(self) -> int:
         """Drop every expired entry now; returns the number removed.

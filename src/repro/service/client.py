@@ -236,3 +236,33 @@ class ServiceClient:
         else:
             body["generate"] = generate
         return self.schedule_payload(body)
+
+    def replay(
+        self,
+        trace: Instance | dict | None = None,
+        *,
+        generate: dict | None = None,
+        algorithm: str = "mrt",
+        params: dict | None = None,
+        quantum: float | None = None,
+        validate: bool = False,
+    ) -> dict:
+        """Replay an online arrival trace (``POST /replay``).
+
+        ``trace`` may be an :class:`~repro.model.instance.Instance` (tasks
+        carrying release times) or its ``as_dict`` payload; alternatively
+        pass a ``generate`` spec (``{"pattern", "family", "tasks", "procs",
+        "seed", ...}``) to have the server synthesise the trace.
+        """
+        if (trace is None) == (generate is None):
+            raise ValueError("pass exactly one of trace or generate")
+        body: dict[str, Any] = {"algorithm": algorithm, "validate": validate}
+        if params:
+            body["params"] = params
+        if quantum is not None:
+            body["quantum"] = quantum
+        if trace is not None:
+            body["trace"] = trace.as_dict() if isinstance(trace, Instance) else trace
+        else:
+            body["generate"] = generate
+        return self._request("/replay", payload=body)

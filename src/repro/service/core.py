@@ -105,7 +105,9 @@ def payload_fingerprint(payload: dict) -> str | None:
 
     Mirrors :meth:`Instance.fingerprint` exactly for well-formed payloads
     (the constructor truncates every profile to ``num_procs`` columns, so the
-    same truncation is applied here).  Returns ``None`` when the payload does
+    same truncation is applied here), including the optional per-task
+    ``"release"`` times of online traces — a trace must never share a cache
+    key with its release-free twin.  Returns ``None`` when the payload does
     not have the expected shape — callers then fall back to full
     :meth:`Instance.from_dict` construction, which raises the proper
     :class:`~repro.exceptions.ModelError`.
@@ -116,6 +118,7 @@ def payload_fingerprint(payload: dict) -> str | None:
         if m < 1 or not isinstance(tasks, list) or not tasks:
             return None
         rows = []
+        releases = []
         for task in tasks:
             times = task["times"]
             if not isinstance(times, (list, tuple)) or len(times) < m:
@@ -126,11 +129,15 @@ def payload_fingerprint(payload: dict) -> str | None:
             full = np.asarray(times, dtype=float)
             if full.ndim != 1 or not np.all(np.isfinite(full)) or np.any(full <= 0):
                 return None
+            release = float(task.get("release", 0.0))
+            if not np.isfinite(release) or release < 0.0:
+                return None
             rows.append(full[:m])
+            releases.append(release)
         matrix = np.asarray(rows, dtype=float)
     except (KeyError, TypeError, ValueError):
         return None
-    return profile_fingerprint(m, matrix)
+    return profile_fingerprint(m, matrix, np.asarray(releases, dtype=float))
 
 
 def request_from_payload(payload: dict) -> ScheduleRequest:

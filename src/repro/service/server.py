@@ -154,6 +154,8 @@ class _Handler(JsonRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         if self.path == "/schedule":
             self._handle_schedule()
+        elif self.path == "/replay":
+            self._handle_replay()
         elif self.path == "/purge":
             self._handle_purge()
         elif self.path == "/shutdown":
@@ -223,6 +225,33 @@ class _Handler(JsonRequestHandler):
             # back as the documented 500 instead of a reset socket.
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
         else:
+            self._send_json(200, response)
+
+    def _handle_replay(self) -> None:
+        """Online replay: epoch-reschedule an arrival trace, stream the metrics.
+
+        Replays run synchronously on the handler thread (one replay is a
+        whole dichotomic-search run per epoch — batching individual replays
+        would serialise them behind the dispatcher without amortising
+        anything).  The micro-batching ``/schedule`` pipeline and its result
+        cache are untouched.
+        """
+        # Local import: only /replay needs the online subsystem — keep the
+        # serving frontend's module dependency graph decoupled from it.
+        from ..online.replay import compute_replay_response, replay_from_payload
+
+        start = time.perf_counter()
+        try:
+            trace, rescheduler, validate = replay_from_payload(self._read_json())
+            response = compute_replay_response(trace, rescheduler, validate)
+        except ModelError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — never drop the connection
+            # ReproError and unexpected crashes alike map to the documented
+            # 500 with the exception type named.
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            response["elapsed_ms"] = (time.perf_counter() - start) * 1e3
             self._send_json(200, response)
 
     def _handle_purge(self) -> None:

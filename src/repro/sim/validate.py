@@ -9,7 +9,9 @@ from .engine import SimulationResult, simulate_schedule
 __all__ = ["simulate_and_check"]
 
 
-def simulate_and_check(schedule: Schedule, *, tol: float = 1e-6) -> SimulationResult:
+def simulate_and_check(
+    schedule: Schedule, *, tol: float = 1e-6, respect_release: bool = False
+) -> SimulationResult:
     """Validate statically, execute on the simulator and cross-check the makespan.
 
     Returns the :class:`~repro.sim.engine.SimulationResult`; raises
@@ -19,8 +21,13 @@ def simulate_and_check(schedule: Schedule, *, tol: float = 1e-6) -> SimulationRe
     the simulated ones and every disagreeing processor is reported with both
     times (capped at the first three), falling back to the global makespans
     when the divergence is not attributable to a single processor.
+
+    ``respect_release=True`` additionally enforces the online-timeline
+    constraint that no task starts before its release date — the validation
+    mode used for stitched epoch-rescheduling timelines
+    (:mod:`repro.online`).
     """
-    schedule.validate()
+    schedule.validate(respect_release=respect_release)
     result = simulate_schedule(schedule)
     static = schedule.makespan()
     if abs(result.makespan - static) > tol * max(1.0, static):

@@ -16,10 +16,22 @@ from .adversarial import (
     property3_stress_instances,
     shelf_overflow_instance,
 )
+from .arrivals import (
+    ARRIVAL_PATTERNS,
+    burst_trace,
+    diurnal_trace,
+    make_trace,
+    poisson_trace,
+)
 from .ocean import ocean_instance, refinement_field
 
 __all__ = [
+    "ARRIVAL_PATTERNS",
     "WORKLOAD_FAMILIES",
+    "burst_trace",
+    "diurnal_trace",
+    "make_trace",
+    "poisson_trace",
     "as_rng",
     "uniform_instance",
     "mixed_instance",

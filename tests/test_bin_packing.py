@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import InfeasibleError
 from repro.packing import (
@@ -51,6 +53,14 @@ class TestCommonPackingBehaviour:
             assert i in result.bins[b]
 
 
+#: Random item lists for the First-Fit guarantee property tests.
+ff_sizes = st.lists(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
 class TestFirstFitSpecific:
     def test_first_fit_keeps_input_order_greedy(self):
         result = first_fit([0.6, 0.6, 0.3], 1.0)
@@ -67,6 +77,42 @@ class TestFirstFitSpecific:
         result = first_fit(sizes, 1.0)
         light_bins = [load for load in result.loads if load <= 0.5]
         assert len(light_bins) <= 1
+
+    def test_light_bin_need_not_be_last(self):
+        """Counterexample to the previously documented justification.
+
+        The docstring used to argue "every bin except possibly the *last* is
+        more than half full".  Here the *middle* bin stays light: 0.3 opens
+        bin 2 (bin 1 holds 0.9), then 0.8 fits neither bin 1 (1.7) nor bin 2
+        (1.1) and opens bin 3.  The guarantee that actually holds — and that
+        Section 4.1 needs — is ``Σ sizes > (num_bins − 1) · capacity/2``.
+        """
+        result = first_fit([0.9, 0.3, 0.8], 1.0)
+        assert result.loads == [0.9, 0.3, 0.8]
+        assert result.loads[1] <= 0.5  # a non-last bin at most half full
+        assert sum(result.loads) > (result.num_bins - 1) * 0.5
+
+    @given(sizes=ff_sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_at_most_one_light_bin(self, sizes):
+        """At most one First-Fit bin has load ≤ capacity/2 (any position)."""
+        result = first_fit(sizes, 1.0)
+        light = [load for load in result.loads if load <= 0.5]
+        assert len(light) <= 1
+
+    @given(sizes=ff_sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_documented_area_guarantee(self, sizes):
+        """The stated guarantee: ``Σ sizes > (num_bins − 1)·capacity/2``.
+
+        This is the inequality the two-shelf analysis relies on; the
+        partition layer (``q3``) and the lower bounds only ever consume
+        ``num_bins`` itself, never the previously overstated
+        ``Σ > num_bins·capacity/2`` form (audited in PR 4).
+        """
+        result = first_fit(sizes, 1.0)
+        if result.num_bins >= 2:
+            assert sum(sizes) > (result.num_bins - 1) * 0.5
 
     def test_num_bins_helper(self):
         assert num_bins_first_fit([], 1.0) == 0

@@ -40,6 +40,51 @@ class TestGenerate:
         payload = json.loads(capsys.readouterr().out)
         assert payload["name"] == "ocean"
 
+    def test_generate_arrival_trace(self, capsys):
+        assert main(
+            ["generate", "--family", "uniform", "--tasks", "6", "--procs", "4",
+             "--arrivals", "poisson"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(task.get("release", 0.0) > 0 for task in payload["tasks"])
+
+    def test_generate_arrivals_rejects_ocean(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--family", "ocean", "--arrivals", "poisson"])
+
+
+class TestReplay:
+    def test_replay_generated_trace(self, capsys):
+        code = main(
+            ["replay", "--pattern", "poisson", "--family", "uniform",
+             "--tasks", "8", "--procs", "4", "--seed", "0",
+             "--quantum", "2", "--validate", "--compare-offline", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch   0" in out and "validated:" in out
+        summary = json.loads(
+            next(line for line in out.splitlines() if line.startswith("REPLAY ")) [len("REPLAY "):]
+        )
+        assert summary["validated"] is True
+        assert summary["num_tasks"] == 8
+        assert summary["competitive_ratio"] > 0
+        assert len(summary["epochs"]) == summary["num_epochs"]
+
+    def test_replay_from_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["generate", "--family", "uniform", "--tasks", "5", "--procs", "4",
+             "--arrivals", "burst", "--output", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", "--trace", str(out), "--validate"]) == 0
+        assert "replay:" in capsys.readouterr().out
+
+    def test_replay_rate_requires_poisson(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--pattern", "burst", "--rate", "2.0"])
+
 
 class TestSchedule:
     @pytest.mark.parametrize("algorithm", ["mrt", "sequential", "gang"])

@@ -85,6 +85,35 @@ class TestLRUTTLCache:
         assert cache.stats.evictions_ttl == 1
         assert cache.stats.misses == 0
 
+    def test_put_classifies_expired_pops_as_ttl(self):
+        """Capacity pops of already-expired entries count as TTL evictions.
+
+        Regression: the capacity loop in ``put`` used to count every popped
+        entry as ``evictions_lru``, so a busy shard with a short TTL looked
+        capacity-starved in the aggregated ``/metrics`` eviction split.
+        """
+        now = [0.0]
+        cache = LRUTTLCache(2, ttl=5.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        cache.put("b", 2)
+        now[0] = 6.0  # both entries are now past their TTL
+        cache.put("c", 3)  # pops "a": expired, so a TTL eviction
+        assert cache.stats.evictions_ttl == 1
+        assert cache.stats.evictions_lru == 0
+        cache.put("d", 4)  # pops "b": also expired
+        assert cache.stats.evictions_ttl == 2
+        assert cache.stats.evictions_lru == 0
+        cache.put("e", 5)  # pops "c": fresh (stored at t=6), a real LRU eviction
+        assert cache.stats.evictions_ttl == 2
+        assert cache.stats.evictions_lru == 1
+
+    def test_put_without_ttl_counts_lru(self):
+        cache = LRUTTLCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats.evictions_lru == 1
+        assert cache.stats.evictions_ttl == 0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             LRUTTLCache(0)
@@ -397,6 +426,37 @@ class TestHTTPFrontend:
         with pytest.raises(ServiceHTTPError) as err:
             client.shutdown()
         assert err.value.status == 403
+
+    def test_replay_endpoint_with_generated_trace(self, client):
+        response = client.replay(
+            generate={"pattern": "poisson", "family": "uniform",
+                      "tasks": 8, "procs": 4, "seed": 0},
+            quantum=2.0,
+            validate=True,
+        )
+        result = response["result"]
+        assert result["num_epochs"] >= 1
+        assert len(result["epochs"]) == result["num_epochs"]
+        assert response["validation"]["simulated_makespan"] == pytest.approx(
+            result["makespan"], rel=1e-6
+        )
+        assert response["elapsed_ms"] >= 0
+
+    def test_replay_endpoint_with_explicit_trace(self, client):
+        from repro.workloads.arrivals import poisson_trace
+
+        trace = poisson_trace("uniform", 6, 4, seed=3)
+        response = client.replay(trace)
+        assert response["fingerprint"] == trace.fingerprint()
+        assert response["result"]["num_tasks"] == 6
+
+    def test_replay_bad_request_is_400(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client.replay(generate={"pattern": "nope"})
+        assert err.value.status == 400
+        with pytest.raises(ServiceHTTPError) as err:
+            client._request("/replay", payload={})
+        assert err.value.status == 400
 
     def test_non_repro_scheduler_crash_is_500(self, client, small_instance, monkeypatch):
         class ExplodingScheduler:

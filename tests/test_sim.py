@@ -60,6 +60,47 @@ class TestSimulateSchedule:
         assert result.makespan == 0.0
         assert result.utilization == 0.0
 
+    def test_ulp_drifted_abutment_is_not_an_overlap(self):
+        """A start one ulp before the finish it abuts must simulate cleanly.
+
+        Stitched online timelines shift every epoch by its start time, and
+        ``(s + clock) + d`` vs ``clock + (s + d)`` can disagree in the last
+        ulp — the simulator treats an owner finishing within ``tol`` of a
+        start as already finished instead of reporting an overlap.
+        """
+        inst = Instance(
+            [MalleableTask.rigid("a", 2.0, 1), MalleableTask.rigid("b", 2.0, 1)], 1
+        )
+        schedule = Schedule(inst)
+        schedule.add(0, 0.0, 0, 1)  # ends at exactly 2.0
+        # one ulp before 2.0: logically abuts task a's finish
+        import math
+
+        schedule.add(1, math.nextafter(2.0, 0.0), 0, 1)
+        result = simulate_schedule(schedule)
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_sub_tolerance_duration_task_simulates(self):
+        """A task shorter than ``tol`` must not trip the overlap machinery.
+
+        Its start and finish are closer together than the tolerance window;
+        the simulator must still process the start before the finish
+        (regression for a timestamp-snapping approach that inverted them).
+        """
+        inst = Instance([MalleableTask("tiny", [1e-12])], 1)
+        schedule = Schedule(inst)
+        schedule.add(0, 0.0, 0, 1)
+        result = simulate_schedule(schedule)
+        assert result.makespan == pytest.approx(1e-12, abs=1e-15)
+        # and back-to-back with a sub-tol task in front
+        inst2 = Instance(
+            [MalleableTask("tiny", [1e-12]), MalleableTask.rigid("b", 1.0, 1)], 1
+        )
+        chain = Schedule(inst2)
+        chain.add(0, 0.0, 0, 1)
+        chain.add(1, 1e-12, 0, 1)
+        assert simulate_schedule(chain).makespan == pytest.approx(1.0)
+
 
 class TestSimulateAndCheck:
     @pytest.mark.parametrize("seed", range(3))
