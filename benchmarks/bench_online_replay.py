@@ -1,19 +1,24 @@
-"""Online replay benchmark: epoch rescheduling vs clairvoyant offline MRT.
+"""Online replay benchmark: both kernels and the arrival baselines, side by side.
 
-Replays Poisson (and burst) arrival traces through the
-:class:`~repro.online.epoch.EpochRescheduler` — event-driven and with a
-batching quantum — and compares the stitched online makespan against the
-*clairvoyant* baseline: offline MRT handed the entire task set up front with
-release dates erased.  The clairvoyant makespan lower-bounds what any
-release-respecting schedule can realistically target, so the reported
-quotient is an upper bound on the true competitive ratio.
+Replays Poisson / burst / diurnal / Pareto arrival traces through *both*
+online kernels — the epoch ``barrier`` and the availability-aware
+``availability`` kernel (partial-machine carry-over) — and through the two
+arrival-by-arrival baselines (online list scheduling, First-Fit by
+arrival).  Every timeline is compared against the *clairvoyant* baseline:
+offline MRT handed the entire task set up front with release dates erased.
+The clairvoyant makespan lower-bounds what any release-respecting schedule
+can realistically target, so the reported quotient is an upper bound on the
+true competitive ratio.
 
 Enforced bars:
 
 * every stitched timeline passes ``simulate_and_check(respect_release=True)``
   (static + dynamic validation, release dates enforced);
-* the online makespan is at most ``--max-ratio`` (default 2.0) times the
-  clairvoyant offline makespan on every benchmark trace.
+* both kernels' online makespans are at most ``--max-ratio`` (default 2.0)
+  times the clairvoyant offline makespan on every benchmark trace;
+* flow-time dominance: on every trace (hence every trace family) the
+  availability kernel's mean flow time is no worse than the barrier
+  kernel's.
 
 Run directly (CI uses ``--quick``)::
 
@@ -26,10 +31,14 @@ import argparse
 import json
 import sys
 
-from repro.online import EpochRescheduler
-from repro.registry import make_scheduler
+from repro.online import first_fit_replay, flow_summary, online_list_replay
+from repro.registry import ONLINE_KERNELS, make_rescheduler, make_scheduler
 from repro.sim.validate import simulate_and_check
 from repro.workloads.arrivals import make_trace
+
+#: Tolerance for the flow-dominance comparison (float stitching noise only:
+#: the availability kernel's barrier fallback makes dominance structural).
+FLOW_TOL = 1e-9
 
 
 def run_trace(
@@ -40,17 +49,19 @@ def run_trace(
     seed: int,
     quantum: float | None,
     algorithm: str = "mrt",
-) -> dict:
-    """Replay one trace; returns the comparison record (validated)."""
+    include_baselines: bool = True,
+) -> list[dict]:
+    """Replay one trace through both kernels + baselines (all validated).
+
+    ``include_baselines=False`` skips the quantum-independent arrival
+    baselines (the quantum configs reuse the event-driven trace, so their
+    baseline rows would be duplicates).
+    """
     trace = make_trace(pattern, family, tasks, procs, seed=seed)
-    rescheduler = EpochRescheduler(algorithm, quantum=quantum)
-    result = rescheduler.replay(trace)
-    simulate_and_check(result.schedule, respect_release=True)
     offline = make_scheduler(algorithm).schedule(trace)
     offline_makespan = offline.makespan()
-    metrics = result.metrics()
     releases = trace.release_times
-    return {
+    base = {
         "pattern": pattern,
         "family": family,
         "tasks": tasks,
@@ -58,15 +69,51 @@ def run_trace(
         "seed": seed,
         "quantum": quantum,
         "arrival_span": float(releases.max() - releases.min()),
-        "num_epochs": result.num_epochs,
-        "online_makespan": metrics["makespan"],
         "offline_makespan": offline_makespan,
-        "ratio": metrics["makespan"] / offline_makespan,
-        "mean_flow": metrics["mean_flow"],
-        "max_flow": metrics["max_flow"],
-        "mean_stretch": metrics["mean_stretch"],
-        "utilization": metrics["utilization"],
     }
+    records = []
+    for kernel in sorted(ONLINE_KERNELS):
+        result = make_rescheduler(kernel, algorithm, quantum=quantum).replay(trace)
+        simulate_and_check(result.schedule, respect_release=True)
+        metrics = result.metrics()
+        records.append(
+            {
+                **base,
+                "policy": kernel,
+                "is_kernel": True,
+                "num_epochs": result.num_epochs,
+                "online_makespan": metrics["makespan"],
+                "ratio": metrics["makespan"] / offline_makespan,
+                "mean_flow": metrics["mean_flow"],
+                "max_flow": metrics["max_flow"],
+                "mean_stretch": metrics["mean_stretch"],
+                "utilization": metrics["utilization"],
+            }
+        )
+    if not include_baselines:
+        return records
+    for policy, replay in (
+        ("online-list", online_list_replay),
+        ("first-fit", first_fit_replay),
+    ):
+        schedule = replay(trace)
+        simulate_and_check(schedule, respect_release=True)
+        summary = flow_summary(schedule)
+        records.append(
+            {
+                **base,
+                "policy": policy,
+                "is_kernel": False,
+                "num_epochs": None,
+                "online_makespan": summary["makespan"],
+                "ratio": summary["makespan"] / offline_makespan,
+                "mean_flow": summary["mean_flow"],
+                "max_flow": summary["max_flow"],
+                "mean_stretch": None,
+                "utilization": None,
+            }
+        )
+    return records
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,18 +123,18 @@ def main(argv: list[str] | None = None) -> int:
         "--max-ratio",
         type=float,
         default=2.0,
-        help="bar: online makespan / clairvoyant offline makespan, per trace",
+        help="bar: kernel makespan / clairvoyant offline makespan, per trace",
     )
     args = parser.parse_args(argv)
 
-    tasks = 16 if args.quick else 40
+    tasks = 14 if args.quick else 32
     procs = 8 if args.quick else 16
     seeds = [0, 1] if args.quick else [0, 1, 2, 3]
-    configs = [("poisson", None), ("poisson", "quantum"), ("burst", None)]
-    if not args.quick:
-        configs.append(("diurnal", None))
+    configs = [(pattern, None) for pattern in ("poisson", "burst", "diurnal", "pareto")]
+    configs.append(("poisson", "quantum"))
 
-    records = []
+    records: list[dict] = []
+    failures: list[str] = []
     for pattern, mode in configs:
         for seed in seeds:
             # A meaningful batching quantum is trace-relative: a tenth of the
@@ -97,24 +144,77 @@ def main(argv: list[str] | None = None) -> int:
                 probe = make_trace(pattern, "mixed", tasks, procs, seed=seed)
                 span = float(probe.release_times.max())
                 quantum = span / 10.0 if span > 0 else None
-            record = run_trace(pattern, "mixed", tasks, procs, seed, quantum)
-            records.append(record)
-            print(
-                f"{pattern:8s} seed={seed}  "
-                f"quantum={'-' if quantum is None else format(quantum, '.3g'):>6s}  "
-                f"epochs={record['num_epochs']:3d}  "
-                f"online={record['online_makespan']:9.4g}  "
-                f"offline={record['offline_makespan']:9.4g}  "
-                f"ratio={record['ratio']:.3f}  "
-                f"stretch={record['mean_stretch']:.2f}"
+            rows = run_trace(
+                pattern, "mixed", tasks, procs, seed, quantum,
+                include_baselines=mode != "quantum",
             )
+            records.extend(rows)
+            by_policy = {row["policy"]: row for row in rows}
+            barrier, avail = by_policy["barrier"], by_policy["availability"]
+            if avail["mean_flow"] > barrier["mean_flow"] + FLOW_TOL:
+                failures.append(
+                    f"{pattern} seed={seed}: availability mean flow "
+                    f"{avail['mean_flow']:.6g} > barrier {barrier['mean_flow']:.6g}"
+                )
+            for row in rows:
+                print(
+                    f"{pattern:8s} seed={seed}  "
+                    f"quantum={'-' if quantum is None else format(quantum, '.3g'):>6s}  "
+                    f"{row['policy']:12s}  "
+                    f"online={row['online_makespan']:9.4g}  "
+                    f"ratio={row['ratio']:.3f}  "
+                    f"flow={row['mean_flow']:8.4g}"
+                )
 
-    worst = max(records, key=lambda r: r["ratio"])
-    mean_ratio = sum(r["ratio"] for r in records) / len(records)
+    kernel_rows = [r for r in records if r["is_kernel"]]
+    worst = max(kernel_rows, key=lambda r: r["ratio"])
+    mean_ratio = sum(r["ratio"] for r in kernel_rows) / len(kernel_rows)
     print(
-        f"competitive ratio vs clairvoyant offline MRT: "
-        f"mean {mean_ratio:.3f}, worst {worst['ratio']:.3f} "
-        f"({worst['pattern']} seed={worst['seed']}); bar {args.max_ratio:.1f}x"
+        f"kernels vs clairvoyant offline MRT: mean ratio {mean_ratio:.3f}, "
+        f"worst {worst['ratio']:.3f} ({worst['policy']}, {worst['pattern']} "
+        f"seed={worst['seed']}); bar {args.max_ratio:.1f}x"
+    )
+
+    families: dict[str, dict[str, list[float]]] = {}
+    for row in kernel_rows:
+        families.setdefault(row["pattern"], {}).setdefault(
+            row["policy"], []
+        ).append(row["mean_flow"])
+    family_flows = {}
+    wins = 0
+    comparisons = 0
+    for pattern, flows in sorted(families.items()):
+        barrier_mean = sum(flows["barrier"]) / len(flows["barrier"])
+        avail_mean = sum(flows["availability"]) / len(flows["availability"])
+        family_flows[pattern] = {
+            "barrier_mean_flow": barrier_mean,
+            "availability_mean_flow": avail_mean,
+        }
+        print(
+            f"family {pattern:8s}: mean flow availability {avail_mean:8.4g}  "
+            f"vs barrier {barrier_mean:8.4g}  "
+            f"({'dominates' if avail_mean <= barrier_mean + FLOW_TOL else 'REGRESSION'})"
+        )
+        if avail_mean > barrier_mean + FLOW_TOL:
+            failures.append(
+                f"family {pattern}: availability mean flow {avail_mean:.6g} > "
+                f"barrier {barrier_mean:.6g}"
+            )
+    for row in kernel_rows:
+        if row["policy"] != "availability":
+            continue
+        comparisons += 1
+        barrier_flow = next(
+            r["mean_flow"]
+            for r in kernel_rows
+            if r["policy"] == "barrier"
+            and (r["pattern"], r["seed"], r["quantum"])
+            == (row["pattern"], row["seed"], row["quantum"])
+        )
+        wins += row["mean_flow"] < barrier_flow - FLOW_TOL
+    print(
+        f"carry-over wins outright on {wins}/{comparisons} traces "
+        f"(never worse: barrier fallback engages on the rest)"
     )
     print("all stitched timelines passed simulate_and_check with release dates")
 
@@ -124,15 +224,21 @@ def main(argv: list[str] | None = None) -> int:
         "max_ratio": args.max_ratio,
         "mean_ratio": mean_ratio,
         "worst_ratio": worst["ratio"],
+        "carryover_wins": wins,
+        "kernel_comparisons": comparisons,
+        "family_flows": family_flows,
         "records": records,
     }
     print("BENCH " + json.dumps(bench, sort_keys=True))
 
     if worst["ratio"] > args.max_ratio:
-        print(
-            f"FAIL: {worst['pattern']} seed={worst['seed']} ratio "
+        failures.append(
+            f"{worst['policy']} on {worst['pattern']} seed={worst['seed']} ratio "
             f"{worst['ratio']:.3f} exceeds the {args.max_ratio:.1f}x bar"
         )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
         return 1
     print("OK")
     return 0

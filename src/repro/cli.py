@@ -30,7 +30,7 @@ from .analysis.metrics import evaluate_schedule
 from .core import theory
 from .exceptions import ModelError
 from .model.instance import Instance
-from .registry import ALGORITHMS, make_scheduler
+from .registry import ALGORITHMS, ONLINE_KERNELS, make_rescheduler, make_scheduler
 from .scheduler import Scheduler
 from .workloads.arrivals import ARRIVAL_PATTERNS, make_trace
 from .workloads.generators import WORKLOAD_FAMILIES, make_workload
@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         "reschedule as soon as the machine drains)",
     )
     rep.add_argument("--algorithm", default="mrt", choices=sorted(ALGORITHMS))
+    rep.add_argument(
+        "--kernel",
+        default="barrier",
+        choices=sorted(ONLINE_KERNELS),
+        help="replay kernel: 'barrier' drains the machine between epochs, "
+        "'availability' starts new work in the remaining capacity",
+    )
     rep.add_argument(
         "--validate",
         action="store_true",
@@ -269,12 +276,14 @@ def _load_or_generate(args: argparse.Namespace) -> Instance:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     """Replay an online arrival trace, streaming per-epoch metrics."""
-    from .online import EpochRescheduler
     from .sim.validate import simulate_and_check
 
     try:
         if args.trace is not None:
-            trace = Instance.from_json(Path(args.trace).read_text())
+            try:
+                trace = Instance.from_json(Path(args.trace).read_text())
+            except (OSError, ValueError, KeyError) as exc:
+                raise SystemExit(f"failed to load trace {args.trace}: {exc}")
         else:
             if args.rate is not None and args.pattern != "poisson":
                 raise SystemExit("--rate only applies to --pattern poisson")
@@ -287,14 +296,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 args.pattern, args.family, args.tasks, args.procs,
                 seed=args.seed, **options,
             )
-        rescheduler = EpochRescheduler(args.algorithm, quantum=args.quantum)
+        rescheduler = make_rescheduler(
+            args.kernel, args.algorithm, quantum=args.quantum
+        )
     except ModelError as exc:
         raise SystemExit(str(exc))
     releases = trace.release_times
     print(
         f"trace: {trace.num_tasks} tasks, m={trace.num_procs}, "
         f"arrival span {float(releases.max() - releases.min()):.4g}, "
-        f"algorithm={args.algorithm}, "
+        f"kernel={args.kernel}, algorithm={args.algorithm}, "
         f"quantum={'event-driven' if not args.quantum else f'{args.quantum:g}'}"
     )
 

@@ -207,6 +207,27 @@ class Schedule:
                 finish[proc] = max(finish[proc], entry.end)
         return finish
 
+    def busy_until(self, at: float = 0.0) -> np.ndarray:
+        """Per-processor availability query: when each processor frees up.
+
+        ``busy_until(at)[p]`` is the earliest time ``>= at`` at which
+        processor ``p`` has no scheduled work left — the latest end among
+        the entries on ``p`` still unfinished at ``at``, floored at ``at``
+        (a processor with nothing left reads as free *now*).  Holes between
+        stacked entries are deliberately ignored: the query answers "when is
+        this processor handed back for good", which is what the online
+        availability kernel needs to stitch new work after the carry-over
+        (:mod:`repro.online.availability`).  ``busy_until(0.0)`` coincides
+        with :meth:`processor_finish_times`.
+        """
+        busy = np.full(self._instance.num_procs, float(at))
+        for entry in self._entries:
+            if entry.end <= at:
+                continue
+            for proc in entry.procs:
+                busy[proc] = max(busy[proc], entry.end)
+        return busy
+
     # ------------------------------------------------------------------ #
     # validation
     # ------------------------------------------------------------------ #

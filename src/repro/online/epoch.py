@@ -58,7 +58,11 @@ class EpochReport:
     num_tasks:
         Number of pending tasks scheduled in this epoch.
     makespan:
-        Makespan of the batch's offline schedule.
+        Length of the epoch's committed work: the barrier kernel commits
+        whole batches, so this is the batch's offline makespan; the
+        availability kernel reports the committed span ``end - start``
+        (deferred entries are counted by the epoch that finally commits
+        them).
     waiting:
         Mean time the batch's tasks spent between release and epoch start.
     """
@@ -98,6 +102,11 @@ class ReplayResult:
     epochs: list[EpochReport] = field(default_factory=list)
     quantum: float | None = None
     algorithm: str = "mrt"
+    #: Which online kernel produced the timeline (``"barrier"`` or
+    #: ``"availability"`` — see :data:`repro.registry.ONLINE_KERNELS`).  Both
+    #: kernels return this same class with the same field shapes; the
+    #: differential suite pins that invariant.
+    kernel: str = "barrier"
 
     @property
     def makespan(self) -> float:
@@ -138,6 +147,7 @@ class ReplayResult:
         flows = self.flow_times()
         stretches = self.stretches()
         return {
+            "kernel": self.kernel,
             "algorithm": self.algorithm,
             "quantum": self.quantum,
             "num_epochs": self.num_epochs,
@@ -169,6 +179,8 @@ class EpochRescheduler:
         Explicit :class:`~repro.scheduler.Scheduler` instance overriding
         ``algorithm``/``params`` (tests, custom kernels).
     """
+
+    kernel = "barrier"
 
     def __init__(
         self,
@@ -214,6 +226,12 @@ class EpochRescheduler:
                 )  # pragma: no cover - defensive
             pending = [i for i in unscheduled if releases[i] <= clock + EPS]
             if not pending:
+                # Empty epoch slot (quantum boundaries can land between
+                # arrivals, and the EPS release test keeps boundary arrivals
+                # in the *following* slot): skip it entirely — epochs always
+                # carry at least one task, pinned by the quantum-boundary
+                # regression test.  The jump is forward: every unscheduled
+                # release is > clock + EPS here.
                 clock = float(min(releases[i] for i in unscheduled))
                 continue
             batch = instance.subset(
@@ -253,4 +271,5 @@ class EpochRescheduler:
             epochs=epochs,
             quantum=self.quantum,
             algorithm=self.algorithm,
+            kernel=self.kernel,
         )

@@ -5,12 +5,13 @@ EpochRescheduler` run and shapes the response the HTTP frontend and the CLI
 stream back:
 
 ``replay_from_payload``
-    Parse ``{"trace" | "generate", "algorithm", "params", "quantum",
-    "validate"}`` into ``(Instance, EpochRescheduler, validate)``.  A
+    Parse ``{"trace" | "generate", "kernel", "algorithm", "params",
+    "quantum", "validate"}`` into ``(Instance, rescheduler, validate)``.  A
     ``"trace"`` is an :meth:`Instance.as_dict` payload (tasks may carry
     ``"release"``); a ``"generate"`` spec draws a synthetic trace from
     :mod:`repro.workloads.arrivals` (``{"pattern", "family", "tasks",
-    "procs", "seed", ...}``).
+    "procs", "seed", ...}``); ``"kernel"`` selects the replay kernel from
+    :data:`repro.registry.ONLINE_KERNELS` (default ``"barrier"``).
 ``compute_replay_response``
     Run the replay and build the JSON-serialisable response: the summary
     metrics, the per-epoch reports, the stitched schedule, the trace
@@ -22,8 +23,10 @@ from __future__ import annotations
 
 from ..exceptions import ModelError
 from ..model.instance import Instance
+from ..registry import make_rescheduler
 from ..sim.validate import simulate_and_check
 from ..workloads.arrivals import ARRIVAL_PATTERNS, make_trace
+from .availability import AvailabilityRescheduler
 from .epoch import EpochRescheduler
 
 __all__ = ["compute_replay_response", "replay_from_payload"]
@@ -36,10 +39,13 @@ _GENERATE_OPTIONS = (
     "jitter",
     "periods",
     "peak_to_trough",
+    "alpha",
 )
 
 
-def replay_from_payload(payload: dict) -> tuple[Instance, EpochRescheduler, bool]:
+def replay_from_payload(
+    payload: dict,
+) -> tuple[Instance, EpochRescheduler | AvailabilityRescheduler, bool]:
     """Parse a ``POST /replay`` body; raises :class:`ModelError` on bad input."""
     if not isinstance(payload, dict):
         raise ModelError("request body must be a JSON object")
@@ -85,12 +91,17 @@ def replay_from_payload(payload: dict) -> tuple[Instance, EpochRescheduler, bool
             quantum = float(quantum)
         except (TypeError, ValueError) as exc:
             raise ModelError("'quantum' must be a number or null") from exc
-    rescheduler = EpochRescheduler(algorithm, params, quantum=quantum)
+    kernel = payload.get("kernel", "barrier")
+    if not isinstance(kernel, str):
+        raise ModelError("'kernel' must be a string")
+    rescheduler = make_rescheduler(kernel, algorithm, params, quantum=quantum)
     return trace, rescheduler, bool(payload.get("validate", False))
 
 
 def compute_replay_response(
-    trace: Instance, rescheduler: EpochRescheduler, validate: bool
+    trace: Instance,
+    rescheduler: EpochRescheduler | AvailabilityRescheduler,
+    validate: bool,
 ) -> dict:
     """Run the replay and shape the ``POST /replay`` response payload."""
     result = rescheduler.replay(trace)

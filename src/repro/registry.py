@@ -19,7 +19,7 @@ from .core.mrt import MRTScheduler
 from .exceptions import ModelError
 from .scheduler import Scheduler
 
-__all__ = ["ALGORITHMS", "make_scheduler"]
+__all__ = ["ALGORITHMS", "ONLINE_KERNELS", "make_rescheduler", "make_scheduler"]
 
 #: Algorithm name -> scheduler factory (callable returning a Scheduler).
 ALGORITHMS: dict[str, type | object] = {
@@ -29,6 +29,15 @@ ALGORITHMS: dict[str, type | object] = {
     "sequential": SequentialLPTScheduler,
     "gang": GangScheduler,
 }
+
+#: Online replay kernels (``python -m repro replay --kernel`` and the
+#: ``"kernel"`` key of ``POST /replay``).  ``"barrier"`` is the epoch
+#: rescheduler of :mod:`repro.online.epoch` (a batch owns the whole machine
+#: until it drains); ``"availability"`` schedules into the remaining
+#: capacity (:mod:`repro.online.availability`).  Factories are resolved
+#: lazily by :func:`make_rescheduler` because the online layer imports this
+#: module for its batch kernels.
+ONLINE_KERNELS: tuple[str, ...] = ("availability", "barrier")
 
 
 def make_scheduler(name: str, params: dict | None = None) -> Scheduler:
@@ -49,3 +58,35 @@ def make_scheduler(name: str, params: dict | None = None) -> Scheduler:
         return factory(**(params or {}))  # type: ignore[operator]
     except TypeError as exc:
         raise ModelError(f"invalid parameters for algorithm {name!r}: {exc}") from exc
+
+
+def make_rescheduler(
+    kernel: str = "barrier",
+    algorithm: str = "mrt",
+    params: dict | None = None,
+    *,
+    quantum: float | None = None,
+):
+    """Instantiate the online replay kernel registered under ``kernel``.
+
+    ``algorithm``/``params``/``quantum`` are forwarded to the kernel's
+    constructor (both kernels share the signature).  Raises
+    :class:`~repro.exceptions.ModelError` on an unknown kernel name, listing
+    the valid choices — the service maps that to a clean 400.
+    """
+    # Lazy import: repro.online imports this module for its batch kernels.
+    from .online.availability import AvailabilityRescheduler
+    from .online.epoch import EpochRescheduler
+
+    # Keyed by each class's own ``kernel`` attribute so the mapping cannot
+    # drift from the classes; a conformance test pins it against
+    # ONLINE_KERNELS (the import-time name list the CLI builds choices from).
+    factories = {
+        cls.kernel: cls for cls in (AvailabilityRescheduler, EpochRescheduler)
+    }
+    factory = factories.get(kernel)
+    if factory is None:
+        raise ModelError(
+            f"unknown online kernel {kernel!r}; choose from {sorted(factories)}"
+        )
+    return factory(algorithm, params, quantum=quantum)

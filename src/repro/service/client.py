@@ -242,6 +242,7 @@ class ServiceClient:
         trace: Instance | dict | None = None,
         *,
         generate: dict | None = None,
+        kernel: str = "barrier",
         algorithm: str = "mrt",
         params: dict | None = None,
         quantum: float | None = None,
@@ -252,11 +253,17 @@ class ServiceClient:
         ``trace`` may be an :class:`~repro.model.instance.Instance` (tasks
         carrying release times) or its ``as_dict`` payload; alternatively
         pass a ``generate`` spec (``{"pattern", "family", "tasks", "procs",
-        "seed", ...}``) to have the server synthesise the trace.
+        "seed", ...}``) to have the server synthesise the trace.  ``kernel``
+        picks the replay kernel (:data:`repro.registry.ONLINE_KERNELS`):
+        ``"barrier"`` or ``"availability"``.
         """
         if (trace is None) == (generate is None):
             raise ValueError("pass exactly one of trace or generate")
-        body: dict[str, Any] = {"algorithm": algorithm, "validate": validate}
+        body: dict[str, Any] = {
+            "kernel": kernel,
+            "algorithm": algorithm,
+            "validate": validate,
+        }
         if params:
             body["params"] = params
         if quantum is not None:

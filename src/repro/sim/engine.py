@@ -58,6 +58,20 @@ class SimulationResult:
             return np.zeros(self.num_procs)
         return self.busy_time / self.makespan
 
+    def busy_until(self, at: float = 0.0) -> np.ndarray:
+        """Per-processor availability as *simulated*: when each processor frees.
+
+        The dynamic counterpart of
+        :meth:`repro.model.schedule.Schedule.busy_until`: derived from the
+        simulated per-processor finish times, floored at ``at``.  The two
+        views agree on every valid schedule (the availability property tests
+        pin this), so divergence signals the same class of bugs
+        :func:`simulate_and_check` hunts.
+        """
+        if self.finish_time is None:
+            return np.full(self.num_procs, float(at))
+        return np.maximum(self.finish_time, float(at))
+
 
 def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationResult:
     """Execute a static schedule and re-check it dynamically.
@@ -157,11 +171,15 @@ def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationRes
 class OnlineListSimulator:
     """Online contiguous list scheduling of a rigid allotment.
 
-    Tasks are released at time 0 and kept in a fixed priority order.  Every
-    time processors free up, the waiting queue is scanned in priority order
-    and every task whose processor requirement fits a contiguous free block
-    is started (leftmost fitting block).  This is the event-driven counterpart
-    of Graham's list scheduling with contiguous allocations.
+    Tasks enter the waiting queue at their release time (offline instances
+    release everything at 0) and are kept in a fixed priority order.  Every
+    time processors free up — or a new task arrives — the waiting queue is
+    scanned in priority order and every *released* task whose processor
+    requirement fits a contiguous free block is started (leftmost fitting
+    block).  This is the event-driven counterpart of Graham's list
+    scheduling with contiguous allocations; fed arrival-by-arrival it is the
+    online baseline the availability kernel is judged against
+    (:func:`repro.online.baselines.online_list_replay`).
     """
 
     def __init__(self, allotment: Allotment, order: list[int] | None = None) -> None:
@@ -188,6 +206,7 @@ class OnlineListSimulator:
         """Simulate the policy and return the resulting schedule."""
         instance = self.instance
         m = instance.num_procs
+        releases = np.array([t.release_time for t in instance.tasks], dtype=float)
         free = np.ones(m, dtype=bool)
         pending = list(self.order)
         schedule = Schedule(instance, algorithm="online-list")
@@ -198,11 +217,13 @@ class OnlineListSimulator:
             guard += 1
             if guard > 10 * (instance.num_tasks + 1) * (m + 1):
                 raise SchedulingError("online simulation failed to make progress")
-            # Start every pending task that fits, in priority order.
+            # Start every released pending task that fits, in priority order.
             started_any = True
             while started_any:
                 started_any = False
                 for task_index in list(pending):
+                    if releases[task_index] > clock + 1e-12:
+                        continue  # not arrived yet
                     width = self.allotment[task_index]
                     block = self._find_block(free, width)
                     if block is None:
@@ -215,17 +236,29 @@ class OnlineListSimulator:
                     )
                     pending.remove(task_index)
                     started_any = True
+            # Next event: the earliest completion or the next arrival,
+            # whichever comes first (arrivals can back-fill a busy machine).
+            next_release = min(
+                (releases[i] for i in pending if releases[i] > clock + 1e-12),
+                default=None,
+            )
             if not finish_heap:
-                if pending:
-                    raise SchedulingError(
-                        "pending tasks cannot be started on an idle machine"
-                    )
-                break
+                if next_release is None:
+                    if pending:
+                        raise SchedulingError(
+                            "pending tasks cannot be started on an idle machine"
+                        )
+                    break
+                clock = float(next_release)
+                continue
+            if next_release is not None and next_release < finish_heap[0][0]:
+                clock = float(next_release)
+                continue
             # Advance to the next completion(s).
             clock, task_index, block, width = heapq.heappop(finish_heap)
             free[block : block + width] = True
             while finish_heap and abs(finish_heap[0][0] - clock) <= 1e-12:
                 _, t2, b2, w2 = heapq.heappop(finish_heap)
                 free[b2 : b2 + w2] = True
-        schedule.validate()
+        schedule.validate(respect_release=True)
         return schedule

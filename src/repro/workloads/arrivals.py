@@ -14,6 +14,12 @@ assigns release times following a classical arrival pattern:
 ``diurnal_trace``
     Inhomogeneous arrivals with a sinusoidal intensity (a day/night load
     curve), sampled by inverse-transform over the cumulative intensity.
+``pareto_trace``
+    Heavy-tailed (Pareto/Lomax) inter-arrival times: most arrivals land in
+    dense clumps separated by rare, very long gaps.  The long gaps leave
+    deep carry-over tails behind them, which is exactly the regime where
+    the availability kernel's partial-machine carry-over should beat the
+    epoch barrier.
 
 Unless given explicitly, the arrival horizon defaults to the instance's
 offline makespan lower bound: the trace then injects work at roughly the
@@ -35,6 +41,7 @@ __all__ = [
     "burst_trace",
     "diurnal_trace",
     "make_trace",
+    "pareto_trace",
     "poisson_trace",
 ]
 
@@ -144,11 +151,44 @@ def diurnal_trace(
     return instance.with_releases(releases, name=name)
 
 
+def pareto_trace(
+    family: str = "mixed",
+    num_tasks: int = 32,
+    num_procs: int = 16,
+    *,
+    seed: int | np.random.Generator | None = None,
+    alpha: float = 1.5,
+    horizon: float | None = None,
+    name: str = "pareto-trace",
+) -> Instance:
+    """Heavy-tailed arrivals: Lomax(``alpha``) inter-arrival times.
+
+    Inter-arrivals are drawn from a Pareto-II (Lomax) distribution with
+    shape ``alpha`` and scaled so their *mean* spreads the trace over the
+    horizon — the same average load as the Poisson trace, but concentrated
+    into clumps separated by rare long gaps (the smaller ``alpha``, the
+    heavier the tail; ``alpha`` must exceed 1 so the mean exists).
+    """
+    if alpha <= 1.0:
+        raise ModelError("alpha must be > 1 (the inter-arrival mean must exist)")
+    rng = as_rng(seed)
+    instance = make_workload(family, num_tasks, num_procs, seed=rng)
+    span = _horizon(instance, horizon)
+    if span <= 0:
+        return instance.with_releases(np.zeros(num_tasks), name=name)
+    # E[Lomax(alpha)] = 1 / (alpha - 1); rescale to a mean gap of span / n.
+    gaps = rng.pareto(alpha, size=num_tasks) * (alpha - 1.0) * (span / num_tasks)
+    releases = np.cumsum(gaps)
+    releases -= releases[0]  # the first task opens the trace at time 0
+    return instance.with_releases(releases, name=name)
+
+
 #: Named arrival patterns used by the replay CLI, service and benchmark.
 ARRIVAL_PATTERNS = {
     "poisson": poisson_trace,
     "burst": burst_trace,
     "diurnal": diurnal_trace,
+    "pareto": pareto_trace,
 }
 
 

@@ -1,0 +1,217 @@
+"""Tests for the availability staircase and the availability kernel.
+
+The differential comparison against the barrier kernel lives in
+``tests/test_online_differential.py``; this module covers the staircase
+(:class:`repro.online.availability.AvailabilityProfile`), the per-processor
+``busy_until`` queries it is built from, and the
+:class:`~repro.online.availability.AvailabilityRescheduler` unit behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.model.instance import Instance
+from repro.online import AvailabilityProfile, AvailabilityRescheduler
+from repro.registry import make_scheduler
+from repro.sim.engine import simulate_schedule
+from repro.sim.validate import simulate_and_check
+from repro.workloads.arrivals import make_trace, pareto_trace
+from repro.workloads.generators import make_workload
+
+
+# --------------------------------------------------------------------------- #
+# availability staircase properties
+# --------------------------------------------------------------------------- #
+busy_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False), min_size=1, max_size=24
+)
+
+
+class TestAvailabilityProfile:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ModelError):
+            AvailabilityProfile([])
+        with pytest.raises(ModelError):
+            AvailabilityProfile([[1.0, 2.0]])
+        with pytest.raises(ModelError):
+            AvailabilityProfile([float("inf")])
+        with pytest.raises(ModelError):
+            AvailabilityProfile([float("nan")])
+
+    def test_block_ready_bounds(self):
+        profile = AvailabilityProfile([1.0, 3.0, 0.0], now=0.0)
+        assert profile.block_ready(0, 2) == 3.0
+        assert profile.block_ready(2, 1) == 0.0
+        with pytest.raises(ModelError):
+            profile.block_ready(2, 2)
+        with pytest.raises(ModelError):
+            profile.block_ready(-1, 1)
+        with pytest.raises(ModelError):
+            profile.block_ready(0, 0)
+
+    def test_floors_at_now(self):
+        profile = AvailabilityProfile([0.0, 5.0], now=2.0)
+        assert profile.busy_until.tolist() == [2.0, 5.0]
+        assert profile.next_free() == 2.0 and profile.drain_time() == 5.0
+
+    @given(busy=busy_arrays, now=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_free_capacity_nonnegative_and_monotone(self, busy, now):
+        """Free capacity is a non-negative, non-decreasing step function."""
+        profile = AvailabilityProfile(busy, now)
+        horizon = max(max(busy), now) + 1.0
+        probes = sorted({now, *busy, now + 1.0, horizon})
+        capacities = [profile.free_capacity(t) for t in probes]
+        assert all(0 <= c <= profile.num_procs for c in capacities)
+        assert capacities == sorted(capacities)
+        assert profile.free_capacity(horizon) == profile.num_procs
+
+    @given(busy=busy_arrays, now=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=100, deadline=None)
+    def test_steps_are_a_monotone_merge_of_finish_events(self, busy, now):
+        """The staircase merges carry-over finish events monotonically."""
+        profile = AvailabilityProfile(busy, now)
+        steps = profile.steps()
+        assert steps[0][0] == profile.now
+        assert steps[-1][1] == profile.num_procs  # ends with the full machine
+        times = [t for t, _ in steps]
+        capacities = [c for _, c in steps]
+        assert times == sorted(times) and len(set(times)) == len(times)
+        assert capacities == sorted(capacities) and len(set(capacities)) == len(
+            capacities
+        )
+        # every step lands on now or on a carry-over finish event
+        finish_events = {profile.now, *np.maximum(np.asarray(busy), now).tolist()}
+        assert all(t in finish_events for t in times)
+        # and the step capacities match the profile's own query
+        for t, c in steps:
+            assert profile.free_capacity(t) == c
+
+
+class TestBusyUntilQueries:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_busy_until_agrees_with_simulate_schedule(self, seed):
+        """Static and simulated per-processor availability agree (8 seeds)."""
+        instance = make_workload("mixed", 10, 6, seed=seed)
+        schedule = make_scheduler("mrt").schedule(instance)
+        sim = simulate_schedule(schedule)
+        np.testing.assert_allclose(
+            schedule.busy_until(0.0), sim.busy_until(0.0), rtol=0, atol=0
+        )
+        np.testing.assert_allclose(
+            schedule.busy_until(0.0), sim.finish_time, rtol=0, atol=0
+        )
+        mid = schedule.makespan() / 2.0
+        np.testing.assert_allclose(
+            schedule.busy_until(mid), sim.busy_until(mid), rtol=0, atol=0
+        )
+
+    def test_busy_until_floors_and_ignores_finished_entries(self):
+        instance = Instance.from_profiles([[2.0, 1.0], [4.0, 2.0]])
+        from repro.model.schedule import Schedule
+
+        schedule = Schedule(instance)
+        schedule.add(0, 0.0, 0, 1)  # proc 0 busy until 2
+        schedule.add(1, 0.0, 1, 1)  # proc 1 busy until 4
+        assert schedule.busy_until(0.0).tolist() == [2.0, 4.0]
+        assert schedule.busy_until(3.0).tolist() == [3.0, 4.0]
+        assert schedule.busy_until(10.0).tolist() == [10.0, 10.0]
+
+    def test_profile_from_schedule(self):
+        instance = Instance.from_profiles([[2.0, 1.0], [4.0, 2.0]])
+        from repro.model.schedule import Schedule
+
+        schedule = Schedule(instance)
+        schedule.add(0, 0.0, 0, 1)
+        schedule.add(1, 0.0, 1, 1)
+        profile = AvailabilityProfile.from_schedule(schedule, now=3.0)
+        assert profile.busy_until.tolist() == [3.0, 4.0]
+        assert profile.free_capacity(3.0) == 1
+        assert profile.steps() == [(3.0, 1), (4.0, 2)]
+
+
+# --------------------------------------------------------------------------- #
+# availability kernel unit behaviour
+# --------------------------------------------------------------------------- #
+class TestAvailabilityRescheduler:
+    def test_offline_instance_is_single_epoch(self):
+        instance = make_workload("uniform", 10, 6, seed=4)
+        result = AvailabilityRescheduler("mrt").replay(instance)
+        assert result.num_epochs == 1
+        assert result.epochs[0].start == 0.0
+        assert result.kernel == "availability"
+
+    @pytest.mark.parametrize("fallback", [True, False])
+    def test_replay_produces_validated_timeline(self, fallback):
+        trace = pareto_trace("mixed", 16, 8, seed=2)
+        result = AvailabilityRescheduler("mrt", fallback=fallback).replay(trace)
+        sim = simulate_and_check(result.schedule, respect_release=True)
+        assert result.schedule.is_complete()
+        assert sim.makespan == pytest.approx(result.makespan, rel=1e-6)
+        for entry in result.schedule.entries:
+            release = trace.tasks[entry.task_index].release_time
+            assert entry.start >= release - 1e-9
+
+    def test_partial_carryover_starts_work_before_drain(self):
+        """The whole point: some epoch starts while the machine is busy.
+
+        A long sequential task plus later short arrivals force the barrier
+        to wait for a full drain; the availability kernel must start at
+        least one task strictly before the previous epoch's batch ends.
+        """
+        profiles = [[20.0, 20.0], [1.0, 1.0], [1.0, 1.0]]
+        trace = Instance.from_profiles(profiles, require_monotonic=False).with_releases(
+            [0.0, 1.0, 2.0]
+        )
+        result = AvailabilityRescheduler("mrt", fallback=False).replay(trace)
+        simulate_and_check(result.schedule, respect_release=True)
+        long_end = result.schedule.entry_for(0).end
+        earliest_short = min(
+            result.schedule.entry_for(1).start, result.schedule.entry_for(2).start
+        )
+        assert earliest_short < long_end - 1.0
+
+    def test_every_task_scheduled_exactly_once(self):
+        trace = make_trace("burst", "mixed", 20, 8, seed=7)
+        result = AvailabilityRescheduler("mrt", fallback=False).replay(trace)
+        indices = sorted(e.task_index for e in result.schedule.entries)
+        assert indices == list(range(20))
+        assert sum(e.num_tasks for e in result.epochs) == 20
+
+    def test_quantum_spaces_commitment_epochs(self):
+        trace = make_trace("poisson", "uniform", 20, 6, seed=6)
+        quantum = float(trace.release_times.max())  # one giant batch window
+        result = AvailabilityRescheduler("mrt", quantum=quantum).replay(trace)
+        event_driven = AvailabilityRescheduler("mrt").replay(trace)
+        assert result.num_epochs <= max(event_driven.num_epochs, 2)
+        simulate_and_check(result.schedule, respect_release=True)
+
+    def test_on_epoch_streams_chosen_epochs(self):
+        trace = make_trace("poisson", "uniform", 10, 4, seed=1)
+        seen = []
+        result = AvailabilityRescheduler("mrt").replay(trace, on_epoch=seen.append)
+        assert [e.index for e in seen] == [e.index for e in result.epochs]
+
+    def test_invalid_quantum_rejected(self):
+        with pytest.raises(ModelError):
+            AvailabilityRescheduler("mrt", quantum=-1.0)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ModelError):
+            AvailabilityRescheduler("nope")
+
+    def test_fallback_never_loses_to_barrier(self):
+        from repro.online import EpochRescheduler
+
+        for seed in range(4):
+            trace = make_trace("burst", "mixed", 14, 6, seed=seed)
+            barrier = EpochRescheduler("mrt").replay(trace)
+            avail = AvailabilityRescheduler("mrt").replay(trace)
+            assert float(avail.flow_times().mean()) <= float(
+                barrier.flow_times().mean()
+            ) + 1e-9

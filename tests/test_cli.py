@@ -85,6 +85,38 @@ class TestReplay:
         with pytest.raises(SystemExit):
             main(["replay", "--pattern", "burst", "--rate", "2.0"])
 
+    @pytest.mark.parametrize("kernel", ["barrier", "availability"])
+    def test_replay_kernel_selection(self, capsys, kernel):
+        code = main(
+            ["replay", "--pattern", "pareto", "--family", "uniform",
+             "--tasks", "8", "--procs", "4", "--seed", "1",
+             "--kernel", kernel, "--validate", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"kernel={kernel}" in out
+        summary = json.loads(
+            next(line for line in out.splitlines() if line.startswith("REPLAY "))
+            [len("REPLAY "):]
+        )
+        assert summary["kernel"] == kernel and summary["validated"] is True
+
+    def test_replay_unknown_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "--kernel", "nope"])
+        err = capsys.readouterr().err
+        assert "availability" in err and "barrier" in err
+
+    def test_replay_negative_release_in_trace_file_rejected(self, tmp_path):
+        from repro.model.instance import Instance
+
+        payload = Instance.from_profiles([[4.0, 2.0]]).as_dict()
+        payload["tasks"][0]["release"] = -1.0
+        trace = tmp_path / "bad-trace.json"
+        trace.write_text(json.dumps(payload))
+        with pytest.raises(SystemExit, match="release"):
+            main(["replay", "--trace", str(trace)])
+
 
 class TestSchedule:
     @pytest.mark.parametrize("algorithm", ["mrt", "sequential", "gang"])

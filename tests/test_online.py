@@ -16,6 +16,7 @@ from repro.workloads.arrivals import (
     burst_trace,
     diurnal_trace,
     make_trace,
+    pareto_trace,
     poisson_trace,
 )
 from repro.workloads.generators import make_workload
@@ -162,6 +163,30 @@ class TestArrivalGenerators:
         with pytest.raises(ModelError):
             diurnal_trace(peak_to_trough=0.5)
 
+    def test_pareto_requires_finite_mean(self):
+        with pytest.raises(ModelError):
+            pareto_trace(alpha=1.0)
+        with pytest.raises(ModelError):
+            pareto_trace(alpha=0.5)
+
+    def test_pareto_is_heavier_tailed_than_poisson(self):
+        """The heavy tail shows as a larger max/median inter-arrival gap."""
+        import numpy as np
+
+        def tail_ratio(trace):
+            gaps = np.diff(np.sort(trace.release_times))
+            gaps = gaps[gaps > 0]
+            return gaps.max() / np.median(gaps)
+
+        ratios_pareto = [
+            tail_ratio(pareto_trace("uniform", 60, 8, seed=s, alpha=1.2))
+            for s in range(5)
+        ]
+        ratios_poisson = [
+            tail_ratio(poisson_trace("uniform", 60, 8, seed=s)) for s in range(5)
+        ]
+        assert float(np.median(ratios_pareto)) > float(np.median(ratios_poisson))
+
     def test_unknown_pattern_rejected(self):
         with pytest.raises(ModelError):
             make_trace("weekly", "mixed", 4, 2)
@@ -233,6 +258,27 @@ class TestEpochRescheduler:
         with pytest.raises(ModelError):
             EpochRescheduler("mrt", quantum=-1.0)
 
+    def test_quantum_boundary_arrival_emits_no_empty_epoch(self):
+        """Regression: a last arrival exactly on a quantum boundary must not
+        produce a zero-length (zero-task) final epoch — empty slots are
+        skipped and the clock only ever moves forward."""
+        profiles = [[0.25, 0.25], [0.25, 0.25], [0.25, 0.25], [0.25, 0.25]]
+        base = Instance.from_profiles(profiles, require_monotonic=False)
+        quantum = 0.1
+        # Accumulated clock = 3 * 0.1 carries float drift; the last arrival
+        # sits exactly on the drifted boundary AND on the exact product.
+        drifted = 0.1 + 0.1 + 0.1
+        for boundary in (drifted, 3 * 0.1, 0.3):
+            trace = base.with_releases([0.0, 0.0, 0.0, boundary])
+            result = EpochRescheduler("mrt", quantum=quantum).replay(trace)
+            assert result.schedule.is_complete()
+            assert all(e.num_tasks >= 1 for e in result.epochs)
+            assert all(e.end > e.start for e in result.epochs)
+            assert sum(e.num_tasks for e in result.epochs) == 4
+            starts = [e.start for e in result.epochs]
+            assert starts == sorted(starts)
+            simulate_and_check(result.schedule, respect_release=True)
+
 
 # --------------------------------------------------------------------------- #
 # replay payload layer (service integration)
@@ -265,11 +311,27 @@ class TestReplayPayload:
             {"generate": {}, "quantum": "soon"},
             {"generate": {}, "params": 3},
             {"generate": {}, "algorithm": 7},
+            {"generate": {}, "kernel": 7},
+            {"generate": {}, "kernel": "nope"},
         ],
     )
     def test_malformed_payloads_rejected(self, payload):
         with pytest.raises(ModelError):
             replay_from_payload(payload)
+
+    def test_unknown_kernel_error_lists_choices(self):
+        with pytest.raises(ModelError, match="availability.*barrier"):
+            replay_from_payload({"generate": {}, "kernel": "nope"})
+
+    def test_kernel_selection(self):
+        from repro.online import AvailabilityRescheduler
+
+        _, rescheduler, _ = replay_from_payload(
+            {"generate": {"tasks": 4, "procs": 2}, "kernel": "availability"}
+        )
+        assert isinstance(rescheduler, AvailabilityRescheduler)
+        _, default, _ = replay_from_payload({"generate": {"tasks": 4, "procs": 2}})
+        assert isinstance(default, EpochRescheduler)
 
     def test_compute_replay_response(self):
         trace, rescheduler, _ = replay_from_payload(

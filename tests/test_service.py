@@ -458,6 +458,41 @@ class TestHTTPFrontend:
             client._request("/replay", payload={})
         assert err.value.status == 400
 
+    def test_replay_kernel_selection(self, client):
+        from repro.workloads.arrivals import poisson_trace
+
+        trace = poisson_trace("uniform", 8, 4, seed=2)
+        responses = {
+            kernel: client.replay(trace, kernel=kernel, validate=True)
+            for kernel in ("barrier", "availability")
+        }
+        for kernel, response in responses.items():
+            assert response["result"]["kernel"] == kernel
+            assert response["validation"] is not None
+        # the kernel choice never changes the response shape
+        shapes = {
+            kernel: (sorted(response), sorted(response["result"]))
+            for kernel, response in responses.items()
+        }
+        assert shapes["barrier"] == shapes["availability"]
+
+    def test_replay_unknown_kernel_is_400_listing_choices(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client.replay(generate={"tasks": 4, "procs": 2}, kernel="nope")
+        assert err.value.status == 400
+        message = err.value.payload["error"]
+        assert "availability" in message and "barrier" in message
+
+    def test_replay_negative_release_is_400_not_500(self, client):
+        from repro.model.instance import Instance
+
+        payload = Instance.from_profiles([[4.0, 2.0], [6.0, 3.5]]).as_dict()
+        payload["tasks"][0]["release"] = -1.0
+        with pytest.raises(ServiceHTTPError) as err:
+            client.replay(payload)
+        assert err.value.status == 400
+        assert "release" in err.value.payload["error"]
+
     def test_non_repro_scheduler_crash_is_500(self, client, small_instance, monkeypatch):
         class ExplodingScheduler:
             name = "exploding"
