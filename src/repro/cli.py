@@ -13,6 +13,8 @@ Sub-commands
 ``serve``     Run the HTTP scheduling service (see :mod:`repro.service`).
 ``loadtest``  Drive a service (or a self-hosted one) with the cold/warm load
               generator and print the throughput report.
+``lint``      Run the repo-invariant static-analysis suite over ``src/repro``
+              against the committed baseline (see :mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -259,6 +261,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the deterministic adversarial instances in the pool",
     )
     lt.add_argument("--json", action="store_true", help="also print a BENCH JSON line")
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-invariant static-analysis suite"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only these rules (repeatable, e.g. --rule RL004)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: the committed lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to analyse (default: the repro package itself)",
+    )
     return parser
 
 
@@ -514,6 +548,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         f"responses consistent: {report['consistent']}   "
         f"503 retries absorbed: {report['retries_total']}"
     )
+    build = report.get("server_metrics", {}).get("build")
+    if build:
+        print(
+            f"server invariants: lint {build['lint_version']} "
+            f"ruleset {build['ruleset_hash']} ({len(build['rules'])} rules)"
+        )
     if "shard_distribution" in report:
         for shard_id, shard in sorted(
             report["shard_distribution"].items(), key=lambda kv: int(kv[0])
@@ -593,6 +633,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+
+    if args.command == "lint":
+        from .lint.cli import cmd_lint
+
+        return cmd_lint(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -1,0 +1,44 @@
+"""``repro lint``: the repo-invariant static-analysis suite.
+
+An AST-based analyzer (stdlib ``ast`` only) enforcing the invariants the
+paper reproduction's guarantees rest on: float-tolerance discipline in the
+simulators (RL001), bitwise-deterministic scheduling paths (RL002), pinned
+serialized shapes and fingerprint domain tags (RL003), lock discipline in
+the threaded service layer (RL004), the 4xx-not-500 error-mapping contract
+of the HTTP frontends (RL005) and static registry/class conformance
+(RL006).  ``python -m repro lint`` runs the suite over ``src/repro``
+itself against the committed baseline; see the README's "Static analysis"
+section for the suppression and baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .analyzer import (
+    LintError,
+    LintResult,
+    load_project,
+    render_json,
+    render_text,
+    report_dict,
+    run_lint,
+)
+from .baseline import Baseline
+from .findings import Finding
+from .registry import LINT_VERSION, RULES, build_info, rule, ruleset_hash
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LINT_VERSION",
+    "LintError",
+    "LintResult",
+    "RULES",
+    "build_info",
+    "load_project",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "rule",
+    "ruleset_hash",
+    "run_lint",
+]

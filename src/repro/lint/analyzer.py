@@ -1,0 +1,219 @@
+"""Orchestration: load a package, run the rules, filter, report.
+
+The analyzer parses every ``*.py`` under the package root once (stdlib
+``ast`` only), hands module rules each in-scope file and project rules the
+whole parsed tree, then filters the raw findings through the inline
+suppressions and the committed baseline.  Paths are reported relative to
+the package root (``service/core.py``), which keeps the baseline stable
+across checkouts and lets the same rules run over the tiny fixture
+packages the tests build in temporary directories.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .findings import Finding
+from .registry import LINT_VERSION, RULES, Rule, ruleset_hash
+from .suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "LintError",
+    "LintResult",
+    "Module",
+    "Project",
+    "load_project",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "run_lint",
+]
+
+
+class LintError(ValueError):
+    """The analyzer itself cannot proceed (unparsable source, bad rule id)."""
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: str  # posix path relative to the package root
+    abspath: Path
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: Suppressions
+
+
+@dataclass
+class Project:
+    """The parsed package: root directory plus every module keyed by path."""
+
+    root: Path
+    modules: dict[str, Module] = field(default_factory=dict)
+
+    def module(self, path: str) -> Module | None:
+        return self.modules.get(path)
+
+
+def load_project(root: Path | str) -> Project:
+    """Parse every ``*.py`` below ``root`` (skipping ``__pycache__``)."""
+    root = Path(root).resolve()
+    if not root.is_dir():
+        raise LintError(f"lint root {root} is not a directory")
+    project = Project(root=root)
+    for abspath in sorted(root.rglob("*.py")):
+        if "__pycache__" in abspath.parts:
+            continue
+        rel = abspath.relative_to(root).as_posix()
+        source = abspath.read_text()
+        try:
+            tree = ast.parse(source, filename=str(abspath))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {rel}: {exc}") from exc
+        lines = source.splitlines()
+        project.modules[rel] = Module(
+            path=rel,
+            abspath=abspath,
+            source=source,
+            lines=lines,
+            tree=tree,
+            suppressions=parse_suppressions(lines),
+        )
+    return project
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-partitioned for the gate."""
+
+    root: str
+    rules: list[Rule]
+    new: list[Finding]
+    grandfathered: list[Finding]
+    suppressed: list[Finding]
+    files_scanned: int
+    baseline_entries: int
+
+    @property
+    def ruleset_hash(self) -> str:
+        return ruleset_hash(self.rules)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def _select_rules(rule_ids: list[str] | None) -> list[Rule]:
+    # Import for the registration side effect; lazy so the service layer can
+    # import repro.lint.registry without paying for the rule modules.
+    from . import rules as _rules  # noqa: F401
+
+    if rule_ids is None:
+        return sorted(RULES.values(), key=lambda r: r.id)
+    selected = []
+    for rule_id in rule_ids:
+        if rule_id not in RULES:
+            raise LintError(
+                f"unknown lint rule {rule_id!r}; choose from {sorted(RULES)}"
+            )
+        selected.append(RULES[rule_id])
+    return sorted(set(selected), key=lambda r: r.id)
+
+
+def run_lint(
+    root: Path | str,
+    *,
+    rules: list[str] | None = None,
+    baseline: Baseline | Path | str | None = None,
+) -> LintResult:
+    """Run the (selected) rules over the package at ``root``."""
+    selected = _select_rules(rules)
+    project = load_project(root)
+    raw: list[Finding] = []
+    for rule in selected:
+        if rule.project:
+            raw.extend(rule.check(project))
+        else:
+            for module in project.modules.values():
+                if rule.in_scope(module.path):
+                    raw.extend(rule.check(module, project))
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(raw):
+        module = project.module(finding.path)
+        if module is not None and module.suppressions.covers(
+            finding.line, finding.rule
+        ):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    if baseline is None:
+        base = Baseline()
+    elif isinstance(baseline, Baseline):
+        base = baseline
+    else:
+        base = Baseline.load(baseline)
+    new, grandfathered = base.split(kept)
+    return LintResult(
+        root=str(project.root),
+        rules=selected,
+        new=new,
+        grandfathered=grandfathered,
+        suppressed=suppressed,
+        files_scanned=len(project.modules),
+        baseline_entries=len(base),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# reporters
+# ---------------------------------------------------------------------- #
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per new finding plus a summary."""
+    out = [finding.render() for finding in result.new]
+    out.append(
+        f"repro lint: {len(result.new)} finding(s) "
+        f"({len(result.grandfathered)} grandfathered, "
+        f"{len(result.suppressed)} suppressed) in {result.files_scanned} files "
+        f"[ruleset {result.ruleset_hash}, "
+        f"rules {', '.join(r.id for r in result.rules)}]"
+    )
+    return "\n".join(out)
+
+
+def report_dict(result: LintResult) -> dict:
+    """The JSON reporter's document shape (pinned by ``tests/test_lint.py``)."""
+    return {
+        "lint_version": LINT_VERSION,
+        "ruleset_hash": result.ruleset_hash,
+        "root": result.root,
+        "rules": [
+            {
+                "id": r.id,
+                "title": r.title,
+                "version": r.version,
+                "scope": list(r.scope),
+                "project": r.project,
+            }
+            for r in result.rules
+        ],
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "new": len(result.new),
+            "grandfathered": len(result.grandfathered),
+            "suppressed": len(result.suppressed),
+            "baseline_entries": result.baseline_entries,
+        },
+        "findings": [f.as_dict() for f in result.new],
+        "grandfathered": [f.as_dict() for f in result.grandfathered],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(report_dict(result), indent=2, sort_keys=True)

@@ -1,0 +1,105 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline lets the CI gate demand *zero new findings* without forcing a
+flag-day cleanup: pre-existing findings are recorded once (with the reason
+reviewed at commit time) and matched by their line-independent
+:attr:`~repro.lint.findings.Finding.key`, counted — ``count`` occurrences
+of a key are grandfathered, the ``count + 1``-th is new.  Deleting an entry
+when the underlying finding is fixed is deliberate manual work: the file
+shrinking over time is the visible progress metric.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "Baseline"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Grandfathered finding keys with per-key occurrence counts."""
+
+    def __init__(self, counts: Counter | None = None, *, ruleset: str = "") -> None:
+        self.counts: Counter = Counter(counts or ())
+        self.ruleset = ruleset
+
+    # ------------------------------------------------------------------ #
+    # construction / persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], *, ruleset: str = ""
+    ) -> "Baseline":
+        return cls(Counter(f.key for f in findings), ruleset=ruleset)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        counts: Counter = Counter()
+        for entry in payload.get("entries", []):
+            key = (
+                entry["rule"],
+                entry["path"],
+                entry.get("symbol", ""),
+                entry["message"],
+            )
+            counts[key] = int(entry.get("count", 1))
+        return cls(counts, ruleset=payload.get("ruleset", ""))
+
+    def save(self, path: Path | str) -> None:
+        entries = [
+            {
+                "rule": rule,
+                "path": file_path,
+                "symbol": symbol,
+                "message": message,
+                "count": count,
+            }
+            for (rule, file_path, symbol, message), count in sorted(
+                self.counts.items()
+            )
+        ]
+        payload = {
+            "version": BASELINE_VERSION,
+            "ruleset": self.ruleset,
+            "entries": entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into ``(new, grandfathered)``.
+
+        The first ``count`` findings of each baseline key (in report order)
+        are grandfathered; every further occurrence is new.
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in sorted(findings):
+            if remaining.get(finding.key, 0) > 0:
+                remaining[finding.key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        return new, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

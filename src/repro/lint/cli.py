@@ -1,0 +1,62 @@
+"""The ``python -m repro lint`` subcommand (argument handling + exit code).
+
+Kept separate from :mod:`repro.cli` so the top-level CLI only pays the
+import cost when the subcommand actually runs.  Exit codes: 0 — no
+findings beyond the baseline; 1 — new findings (printed); 2 — usage error
+(unknown rule, unreadable baseline, bad root).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .analyzer import LintError, render_json, render_text, run_lint
+from .baseline import Baseline
+
+__all__ = ["cmd_lint", "default_baseline_path", "default_root"]
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (what the self-check lints)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_baseline_path(root: Path) -> Path | None:
+    """The committed baseline: next to the checkout (``src/..``) or the cwd."""
+    candidates = [
+        root.parent.parent / "lint-baseline.json",  # <repo>/src/repro -> <repo>/
+        Path.cwd() / "lint-baseline.json",
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    root = Path(args.root) if args.root is not None else default_root()
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else default_baseline_path(root)
+    )
+    try:
+        if args.write_baseline:
+            # Findings that survive suppression get grandfathered wholesale.
+            result = run_lint(root, rules=args.rule, baseline=None)
+            target = baseline_path or root.parent.parent / "lint-baseline.json"
+            Baseline.from_findings(
+                result.new, ruleset=result.ruleset_hash
+            ).save(target)
+            print(
+                f"repro lint: wrote {len(result.new)} grandfathered "
+                f"finding(s) to {target}"
+            )
+            return 0
+        result = run_lint(root, rules=args.rule, baseline=baseline_path)
+    except (LintError, OSError, ValueError) as exc:
+        print(f"repro lint: error: {exc}")
+        return 2
+    print(render_json(result) if args.json else render_text(result))
+    return result.exit_code

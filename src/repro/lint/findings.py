@@ -1,0 +1,48 @@
+"""The finding record shared by every lint rule and reporter.
+
+A :class:`Finding` pins *where* (path/line/col), *what* (rule id + message)
+and *which symbol* (the enclosing ``Class.method`` when the rule can name
+one).  The :attr:`Finding.key` deliberately excludes the line number: the
+baseline matches findings by key, so grandfathered findings survive
+unrelated edits that shift line numbers, while a *new* occurrence of the
+same defect in the same symbol still trips the gate through the per-key
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis finding, ordered by location for stable reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    symbol: str = field(default="", compare=False)
+
+    @property
+    def key(self) -> tuple[str, str, str, str]:
+        """Line-independent identity used by baseline matching."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (the JSON reporter's row shape)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line text form: ``path:line:col: RLxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

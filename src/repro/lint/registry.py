@@ -1,0 +1,100 @@
+"""Rule registry of the ``repro lint`` static-analysis suite.
+
+Rules self-register through the :func:`rule` decorator (imported for their
+side effect by :mod:`repro.lint.rules`).  Each rule carries a ``version``
+that must be bumped whenever its semantics change; :func:`ruleset_hash`
+digests the (id, version, scope) triples into a short stable hash that the
+service exposes in its ``/metrics`` build-info block — a deployed shard
+thereby advertises exactly which invariant set its source tree was checked
+against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["LINT_VERSION", "RULES", "Rule", "build_info", "rule", "ruleset_hash"]
+
+#: Version of the lint harness itself (registry, suppressions, baseline
+#: format, reporters) — independent of the per-rule versions.
+LINT_VERSION = "1.0.0"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered static-analysis rule.
+
+    ``scope`` holds path prefixes relative to the analysed package root
+    (e.g. ``("online/", "sim/")``); an empty scope means the whole package.
+    ``project`` rules see the whole parsed project at once (cross-module
+    checks); module rules run once per in-scope file.
+    """
+
+    id: str
+    title: str
+    rationale: str
+    version: int
+    scope: tuple[str, ...]
+    project: bool
+    check: Callable = field(compare=False)
+
+    def in_scope(self, path: str) -> bool:
+        return not self.scope or any(path.startswith(p) for p in self.scope)
+
+
+#: Rule id -> :class:`Rule`; populated by the :func:`rule` decorator.
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    title: str,
+    *,
+    rationale: str,
+    version: int = 1,
+    scope: Iterable[str] = (),
+    project: bool = False,
+) -> Callable:
+    """Register ``check`` under ``rule_id``; returns the function unchanged."""
+
+    def decorator(check: Callable) -> Callable:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        RULES[rule_id] = Rule(
+            id=rule_id,
+            title=title,
+            rationale=rationale,
+            version=int(version),
+            scope=tuple(scope),
+            project=bool(project),
+            check=check,
+        )
+        return check
+
+    return decorator
+
+
+def ruleset_hash(rules: Iterable[Rule] | None = None) -> str:
+    """Short stable digest of the active ruleset (ids, versions, scopes)."""
+    selected = sorted(RULES.values() if rules is None else rules, key=lambda r: r.id)
+    digest = hashlib.sha256()
+    for r in selected:
+        digest.update(f"{r.id}:{r.version}:{','.join(r.scope)}\n".encode())
+    return digest.hexdigest()[:12]
+
+
+def build_info() -> dict:
+    """The ``/metrics`` build-info block: which invariant set this tree runs.
+
+    Imports the rule modules lazily so callers (the service layer) never
+    race the registration side effects.
+    """
+    from . import rules as _rules  # noqa: F401 - registration side effect
+
+    return {
+        "lint_version": LINT_VERSION,
+        "ruleset_hash": ruleset_hash(),
+        "rules": sorted(RULES),
+    }

@@ -1,0 +1,21 @@
+"""Rule implementations; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401 - imported for the registration side effect
+    determinism,
+    float_equality,
+    http_errors,
+    registry_conformance,
+    schema,
+    thread_safety,
+)
+
+__all__ = [
+    "determinism",
+    "float_equality",
+    "http_errors",
+    "registry_conformance",
+    "schema",
+    "thread_safety",
+]

@@ -1,0 +1,69 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ScopedVisitor", "dict_string_keys", "dotted_name", "words_of"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def words_of(identifier: str) -> set[str]:
+    """The lower-cased snake_case segments of an identifier."""
+    return {part for part in identifier.lower().split("_") if part}
+
+
+def dict_string_keys(node: ast.AST) -> set[str]:
+    """Every string key emitted inside ``node``.
+
+    Covers dict literals (including nested ones and those built inside
+    comprehensions) and ``target["key"] = ...`` subscript assignments — the
+    two ways the repo's ``as_dict`` methods emit keys.
+    """
+    keys: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for key in child.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(child, ast.Subscript) and isinstance(child.ctx, ast.Store):
+            sl = child.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+                keys.add(sl.value)
+    return keys
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing ``Class.method`` symbol."""
+
+    def __init__(self) -> None:
+        self._scopes: list[str] = []
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._scopes)
+
+    def _enter(self, node) -> None:
+        self._scopes.append(node.name)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node)

@@ -1,0 +1,129 @@
+"""RL001: no naked float equality between computed simulation times.
+
+The stitched online timelines shift every epoch's entries by a float epoch
+start, so two logically equal timestamps routinely differ by an ulp; PR 4
+introduced the ``tol``-snapped event ordering for exactly that reason.  A
+naked ``==``/``!=`` between time-valued expressions therefore depends on
+accumulated rounding — compare through
+:func:`repro.sim.events.times_close` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+from ._common import ScopedVisitor, words_of
+
+__all__ = ["TIME_WORDS"]
+
+#: snake_case segments that mark an expression as time-valued in this repo.
+TIME_WORDS = frozenset(
+    {
+        "time",
+        "times",
+        "start",
+        "end",
+        "finish",
+        "release",
+        "releases",
+        "clock",
+        "makespan",
+        "deadline",
+        "duration",
+        "busy",
+        "horizon",
+        "cutoff",
+        "arrival",
+        "arrivals",
+        "elapsed",
+        "wait",
+        "waiting",
+        "until",
+        "now",
+    }
+)
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(words_of(node.id) & TIME_WORDS)
+    if isinstance(node, ast.Attribute):
+        return bool(words_of(node.attr) & TIME_WORDS)
+    if isinstance(node, ast.Subscript):
+        return _is_time_like(node.value)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # ``task.time(p)`` and aggregations like ``releases.max()``.
+            return bool(words_of(func.attr) & TIME_WORDS) or _is_time_like(func.value)
+        if isinstance(func, ast.Name):
+            return bool(words_of(func.id) & TIME_WORDS)
+        return False
+    if isinstance(node, ast.BinOp):
+        return _is_time_like(node.left) or _is_time_like(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_time_like(node.operand)
+    return False
+
+
+def _comparable(node: ast.AST) -> bool:
+    """False for operands equality against which is clearly not a float test."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    return True
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                pair = (left, right)
+                if (
+                    any(_is_time_like(side) for side in pair)
+                    and all(_comparable(side) for side in pair)
+                    and not all(isinstance(side, ast.Constant) for side in pair)
+                ):
+                    expr = next(side for side in pair if _is_time_like(side))
+                    self.findings.append(
+                        Finding(
+                            path=self.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="RL001",
+                            symbol=self.symbol,
+                            message=(
+                                f"naked float equality on time-valued expression "
+                                f"'{ast.unparse(expr)}'; compare with "
+                                f"times_close() from repro.sim.events"
+                            ),
+                        )
+                    )
+            left = right
+        self.generic_visit(node)
+
+
+@rule(
+    "RL001",
+    "float equality on computed times",
+    rationale=(
+        "stitched online timelines accumulate float drift; equality between "
+        "time expressions must go through times_close()"
+    ),
+    version=1,
+    scope=("online/", "sim/", "packing/"),
+)
+def check_float_equality(module, project) -> Iterator[Finding]:
+    visitor = _Visitor(module.path)
+    visitor.visit(module.tree)
+    yield from visitor.findings

@@ -1,0 +1,111 @@
+"""RL005: HTTP handlers must map model errors to 4xx, never bare 500.
+
+The recurring PR 4/5 review theme: a client sending a malformed instance
+must get a 400 with a diagnostic, not a 500 — a 500 means *our* bug and is
+what the load generator counts as a server error.  Concretely, inside any
+``try`` statement that sends a 500 from a broad handler (``Exception``,
+``BaseException`` or the ``ReproError`` root), an earlier handler must
+already have mapped ``ModelError`` to a 4xx; and no handler that catches
+``ModelError`` may answer with a 5xx.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+from ._common import ScopedVisitor, dotted_name
+
+_BROAD = frozenset({"Exception", "BaseException", "ReproError"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    if node is None:
+        return {"BaseException"}
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for expr in exprs:
+        chain = dotted_name(expr)
+        if chain is not None:
+            names.add(chain.rsplit(".", 1)[-1])
+    return names
+
+
+def _statuses_sent(node: ast.AST) -> set[int]:
+    statuses: set[int] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name == "_send_json" and child.args:
+                first = child.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, int):
+                    statuses.add(first.value)
+    return statuses
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def visit_Try(self, node: ast.Try) -> None:
+        model_mapped_4xx = False
+        for handler in node.handlers:
+            caught = _caught_names(handler)
+            statuses = _statuses_sent(handler)
+            if "ModelError" in caught:
+                if any(s >= 500 for s in statuses):
+                    self.findings.append(
+                        Finding(
+                            path=self.path,
+                            line=handler.lineno,
+                            col=handler.col_offset,
+                            rule="RL005",
+                            symbol=self.symbol,
+                            message=(
+                                "handler catching ModelError answers with a "
+                                "5xx; client-input errors must map to 4xx"
+                            ),
+                        )
+                    )
+                if any(400 <= s < 500 for s in statuses):
+                    model_mapped_4xx = True
+            elif caught & _BROAD and 500 in statuses and not model_mapped_4xx:
+                self.findings.append(
+                    Finding(
+                        path=self.path,
+                        line=handler.lineno,
+                        col=handler.col_offset,
+                        rule="RL005",
+                        symbol=self.symbol,
+                        message=(
+                            f"broad handler ({', '.join(sorted(caught & _BROAD))}) "
+                            f"maps ReproError subclasses to a bare 500; add a "
+                            f"preceding 'except ModelError' answering 4xx"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+
+@rule(
+    "RL005",
+    "ReproError subclasses must map to 4xx, not bare 500",
+    rationale=(
+        "malformed client input must surface as 400-with-diagnostic; a 500 "
+        "is reserved for genuine server bugs"
+    ),
+    version=1,
+    scope=("service/",),
+)
+def check_http_error_mapping(module, project) -> Iterator[Finding]:
+    visitor = _Visitor(module.path)
+    visitor.visit(module.tree)
+    yield from visitor.findings

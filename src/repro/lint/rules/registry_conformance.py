@@ -1,0 +1,260 @@
+"""RL006: every class reachable from ``registry.py`` declares its contract.
+
+The registry keys schedulers by name and the online kernels by each class's
+own ``kernel`` attribute; the CLI builds its ``--kernel`` choices from
+``ONLINE_KERNELS`` at import time.  This rule re-derives all of that
+*statically*: every scheduler class registered in ``ALGORITHMS`` must
+declare a class-level ``name`` string and a ``schedule`` method, every
+kernel class in ``make_rescheduler``'s factory tuple must declare a
+class-level ``kernel`` string (matching an ``ONLINE_KERNELS`` entry) and a
+``replay`` method, and the set of declared kernels must equal
+``ONLINE_KERNELS`` exactly — so the CLI choices, the service's 400
+diagnostics and the classes themselves can never drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+
+
+def _import_map(tree: ast.Module) -> dict[str, tuple[str, str]]:
+    """Local name -> (relative module path, original name) from ImportFrom."""
+    table: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level >= 1 and node.module:
+            path = node.module.replace(".", "/") + ".py"
+            for alias in node.names:
+                table[alias.asname or alias.name] = (path, alias.name)
+    return table
+
+
+def _algorithm_classes(tree: ast.Module) -> dict[str, str]:
+    """Registered algorithm name -> local class name, from ``ALGORITHMS``."""
+    classes: dict[str, str] = {}
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "ALGORITHMS" for t in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(val, ast.Name)
+                ):
+                    classes[key.value] = val.id
+    return classes
+
+
+def _kernel_classes(tree: ast.Module) -> list[str]:
+    """Local class names in ``make_rescheduler``'s factory tuple."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "make_rescheduler":
+            for child in ast.walk(node):
+                if isinstance(child, ast.DictComp) and isinstance(
+                    child.generators[0].iter, (ast.Tuple, ast.List)
+                ):
+                    return [
+                        elt.id
+                        for elt in child.generators[0].iter.elts
+                        if isinstance(elt, ast.Name)
+                    ]
+    return []
+
+
+def _online_kernels(tree: ast.Module) -> tuple[set[str], int]:
+    """The ``ONLINE_KERNELS`` literal values and their line number."""
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "ONLINE_KERNELS"
+            and node.value is not None
+            and isinstance(node.value, (ast.Tuple, ast.List))
+        ):
+            values = {
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+            return values, node.lineno
+    return set(), 1
+
+
+def _class_attr_string(classdef: ast.ClassDef, attr: str) -> str | None:
+    """Value of a class-level ``attr = "literal"`` declaration, if any."""
+    for stmt in classdef.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == attr:
+                if isinstance(stmt.value, ast.Constant) and isinstance(
+                    stmt.value.value, str
+                ):
+                    return stmt.value.value
+    return None
+
+
+def _has_method(classdef: ast.ClassDef, name: str) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name == name
+        for stmt in classdef.body
+    )
+
+
+def _find_class(project, path: str, name: str):
+    module = project.module(path)
+    if module is None:
+        return None, None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return module, node
+    return module, None
+
+
+@rule(
+    "RL006",
+    "registry class contract conformance",
+    rationale=(
+        "ALGORITHMS/ONLINE_KERNELS, the CLI choices and the classes "
+        "themselves must agree statically on name/kernel declarations"
+    ),
+    version=1,
+    project=True,
+)
+def check_registry_conformance(project) -> Iterator[Finding]:
+    registry = project.module("registry.py")
+    if registry is None:
+        return
+    imports = _import_map(registry.tree)
+    declared_kernels: set[str] = set()
+
+    def resolve(local: str, registered_as: str, kind: str) -> Iterator[Finding]:
+        if local not in imports:
+            yield Finding(
+                path="registry.py",
+                line=1,
+                col=0,
+                rule="RL006",
+                symbol=local,
+                message=(
+                    f"{kind} class '{local}' (registered as "
+                    f"'{registered_as}') is not resolvable from registry.py "
+                    f"imports"
+                ),
+            )
+            return
+        path, original = imports[local]
+        module, classdef = _find_class(project, path, original)
+        if module is None:
+            return  # module outside the analysed root; nothing to check
+        if classdef is None:
+            yield Finding(
+                path=path,
+                line=1,
+                col=0,
+                rule="RL006",
+                symbol=original,
+                message=(
+                    f"{kind} class '{original}' registered in registry.py "
+                    f"does not exist in {path}"
+                ),
+            )
+            return
+        if kind == "scheduler":
+            if _class_attr_string(classdef, "name") is None:
+                yield Finding(
+                    path=path,
+                    line=classdef.lineno,
+                    col=classdef.col_offset,
+                    rule="RL006",
+                    symbol=original,
+                    message=(
+                        f"scheduler class '{original}' (ALGORITHMS entry "
+                        f"'{registered_as}') declares no class-level 'name' "
+                        f"string; registry consumers cannot read it "
+                        f"statically"
+                    ),
+                )
+            if not _has_method(classdef, "schedule"):
+                yield Finding(
+                    path=path,
+                    line=classdef.lineno,
+                    col=classdef.col_offset,
+                    rule="RL006",
+                    symbol=original,
+                    message=(
+                        f"scheduler class '{original}' defines no "
+                        f"'schedule' method"
+                    ),
+                )
+        else:
+            kernel = _class_attr_string(classdef, "kernel")
+            if kernel is None:
+                yield Finding(
+                    path=path,
+                    line=classdef.lineno,
+                    col=classdef.col_offset,
+                    rule="RL006",
+                    symbol=original,
+                    message=(
+                        f"kernel class '{original}' declares no class-level "
+                        f"'kernel' string; make_rescheduler keys factories "
+                        f"off it"
+                    ),
+                )
+            else:
+                declared_kernels.add(kernel)
+            if not _has_method(classdef, "replay"):
+                yield Finding(
+                    path=path,
+                    line=classdef.lineno,
+                    col=classdef.col_offset,
+                    rule="RL006",
+                    symbol=original,
+                    message=(
+                        f"kernel class '{original}' defines no 'replay' "
+                        f"method"
+                    ),
+                )
+
+    for registered_as, local in sorted(_algorithm_classes(registry.tree).items()):
+        yield from resolve(local, registered_as, "scheduler")
+    kernel_locals = _kernel_classes(registry.tree)
+    for local in kernel_locals:
+        yield from resolve(local, local, "kernel")
+    online_kernels, line = _online_kernels(registry.tree)
+    if kernel_locals and online_kernels != declared_kernels:
+        yield Finding(
+            path="registry.py",
+            line=line,
+            col=0,
+            rule="RL006",
+            symbol="ONLINE_KERNELS",
+            message=(
+                f"ONLINE_KERNELS {sorted(online_kernels)} does not match the "
+                f"kernels declared by the factory classes "
+                f"{sorted(declared_kernels)}"
+            ),
+        )

@@ -1,0 +1,204 @@
+"""RL004: the thread-safety auditor for the service layer.
+
+Infers, per class, which ``self.*`` attributes a class treats as
+lock-guarded — those accessed inside a ``with self.<lock>:`` scope (any
+attribute whose name contains ``lock``) *and* mutated outside
+``__init__`` somewhere — then flags every access to a guarded attribute
+that happens outside a lock scope.  ``__init__`` is exempt (construction
+happens-before publication to other threads), and code inside nested
+functions/lambdas is skipped (deferred execution cannot be audited
+statically).  Immutable configuration attributes never trip the rule: an
+attribute only *read* under a lock, and never written after construction,
+is not considered guarded.
+
+This is deliberately a lightweight race detector, not a proof system: it
+catches the recurring review bug — a counter incremented under
+``self._lock`` in one method and read bare in another — in
+``SchedulerService``, the router's connection pool and the cluster
+supervisor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+
+#: method names that mutate their receiver in-place.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    col: int
+    method: str
+    locked: bool
+    is_write: bool
+
+
+class _MethodAuditor:
+    """Collect self-attribute accesses of one method with lock tracking."""
+
+    def __init__(self, method: str, lock_attrs: set[str]) -> None:
+        self.method = method
+        self.lock_attrs = lock_attrs
+        self.accesses: list[_Access] = []
+
+    def audit(self, fn: ast.FunctionDef) -> list[_Access]:
+        for stmt in fn.body:
+            self._visit(stmt, locked=False)
+        return self.accesses
+
+    def _record(self, node: ast.AST, attr: str, *, locked: bool, write: bool) -> None:
+        if attr in self.lock_attrs:
+            return
+        self.accesses.append(
+            _Access(attr, node.lineno, node.col_offset, self.method, locked, write)
+        )
+
+    def _is_lock_scope(self, item: ast.withitem) -> bool:
+        attr = _self_attr(item.context_expr)
+        return attr is not None and attr in self.lock_attrs
+
+    def _visit(self, node: ast.AST, *, locked: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # deferred execution: lock state at call time is unknown
+        if isinstance(node, ast.With):
+            inner = locked or any(self._is_lock_scope(item) for item in node.items)
+            for item in node.items:
+                self._visit(item.context_expr, locked=locked)
+            for stmt in node.body:
+                self._visit(stmt, locked=inner)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                write = isinstance(node.ctx, (ast.Store, ast.Del))
+                self._record(node, attr, locked=locked, write=write)
+                return
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            attr = _self_attr(node.value)
+            if attr is not None:
+                self._record(node.value, attr, locked=locked, write=True)
+                self._visit(node.slice, locked=locked)
+                return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                attr = _self_attr(func.value)
+                if attr is not None:
+                    self._record(func.value, attr, locked=locked, write=True)
+                    for arg in node.args:
+                        self._visit(arg, locked=locked)
+                    for kw in node.keywords:
+                        self._visit(kw.value, locked=locked)
+                    return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locked=locked)
+
+
+def _lock_attrs_of(classdef: ast.ClassDef) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(classdef):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and "lock" in attr.lower():
+                    locks.add(attr)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None and "lock" in attr.lower():
+                    locks.add(attr)
+    return locks
+
+
+def _method_names(classdef: ast.ClassDef) -> set[str]:
+    return {
+        stmt.name
+        for stmt in classdef.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@rule(
+    "RL004",
+    "lock-guarded attribute accessed outside its lock",
+    rationale=(
+        "counters and caches guarded by self._lock in one method must not "
+        "be touched bare in another; a static race detector for service/"
+    ),
+    version=1,
+    scope=("service/",),
+)
+def check_thread_safety(module, project) -> Iterator[Finding]:
+    for classdef in [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]:
+        lock_attrs = _lock_attrs_of(classdef)
+        if not lock_attrs:
+            continue
+        methods = _method_names(classdef)
+        accesses: list[_Access] = []
+        for stmt in classdef.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                accesses.extend(
+                    _MethodAuditor(stmt.name, lock_attrs).audit(stmt)
+                )
+        locked_attrs = {a.attr for a in accesses if a.locked}
+        written_late = {
+            a.attr for a in accesses if a.is_write and a.method != "__init__"
+        }
+        guarded = (locked_attrs & written_late) - methods
+        for access in accesses:
+            if (
+                access.attr in guarded
+                and not access.locked
+                and access.method != "__init__"
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=access.line,
+                    col=access.col,
+                    rule="RL004",
+                    symbol=f"{classdef.name}.{access.method}",
+                    message=(
+                        f"attribute '{access.attr}' of {classdef.name} is "
+                        f"lock-guarded elsewhere but "
+                        f"{'written' if access.is_write else 'read'} outside "
+                        f"any lock scope in {access.method}()"
+                    ),
+                )

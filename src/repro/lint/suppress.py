@@ -1,0 +1,57 @@
+"""Inline suppression comments: ``# repro-lint: disable=RL001[,RL002]``.
+
+A suppression on the offending line silences the listed rules for that
+line; a *standalone* suppression comment (nothing but the comment on its
+line) additionally covers the line directly below it, for statements too
+long to carry a trailing comment.  Suppressions are per-rule by design —
+there is no ``disable=all`` — so silencing one invariant never hides a
+violation of another.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=\s*([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+class Suppressions:
+    """Per-file suppression map queried by the analyzer."""
+
+    def __init__(self) -> None:
+        #: 1-based line -> set of rule ids disabled on that line.
+        self._by_line: dict[int, set[str]] = {}
+        #: lines whose suppression comment stands alone (covers line + 1).
+        self._standalone: set[int] = set()
+
+    def add(self, line: int, rules: set[str], *, standalone: bool) -> None:
+        self._by_line.setdefault(line, set()).update(rules)
+        if standalone:
+            self._standalone.add(line)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        """True when ``rule_id`` is suppressed at ``line``."""
+        if rule_id in self._by_line.get(line, ()):
+            return True
+        prev = line - 1
+        return prev in self._standalone and rule_id in self._by_line.get(prev, ())
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_suppressions(lines: list[str]) -> Suppressions:
+    """Scan source ``lines`` (0-based list) for suppression comments."""
+    result = Suppressions()
+    for index, text in enumerate(lines, start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        standalone = text[: match.start()].strip() == ""
+        result.add(index, rules, standalone=standalone)
+    return result

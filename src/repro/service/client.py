@@ -172,6 +172,9 @@ class ServiceClient:
             attempt += 1
             with self._retry_lock:
                 self.retries_total += 1
+            # Backoff jitter must NOT be seeded/deterministic: clients that
+            # back off in lockstep re-thunder the herd they are spreading.
+            # repro-lint: disable=RL002
             time.sleep(random.uniform(0.0, delay))
 
     def close(self) -> None:

@@ -45,6 +45,7 @@ from http.server import ThreadingHTTPServer
 import numpy as np
 
 from ...exceptions import ClusterError
+from ...lint.registry import build_info as lint_build_info
 from ..cache import MISS, LRUTTLCache
 from ..core import canonical_json, payload_fingerprint
 from ..server import JsonRequestHandler
@@ -431,6 +432,9 @@ class ShardRouterServer(ThreadingHTTPServer):
             "router": router,
             "shards": shards_view,
             "imbalance": imbalance,
+            # Router-side invariant advertisement, mirroring each shard's
+            # own ``build`` block inside its snapshot.
+            "build": lint_build_info(),
         }
 
     # ------------------------------------------------------------------ #

@@ -135,11 +135,16 @@ class ClusterSupervisor:
         if not register:
             handle.stop()
 
+    def _is_closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
     def close(self) -> None:
         """Stop the monitor and terminate every shard."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._monitor is not None:
             self._monitor.join(timeout=self.monitor_interval * 8 + 5.0)
         with self._lock:
@@ -231,9 +236,9 @@ class ClusterSupervisor:
     # monitor
     # ------------------------------------------------------------------ #
     def _monitor_loop(self) -> None:
-        while not self._closed:
+        while not self._is_closed():
             time.sleep(self.monitor_interval)
-            if self._closed:
+            if self._is_closed():
                 return
             with self._lock:
                 dead = [
@@ -242,7 +247,7 @@ class ClusterSupervisor:
                     if not handle.is_alive()
                 ]
             for shard_id in dead:
-                if self._closed:
+                if self._is_closed():
                     return
                 try:
                     with self._lock:

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..analysis.experiments import make_pool
 from ..exceptions import ModelError, ServiceOverloadedError
+from ..lint.registry import build_info as lint_build_info
 from ..model.instance import Instance, profile_fingerprint
 from ..registry import make_scheduler
 from ..sim.validate import simulate_and_check
@@ -435,6 +436,9 @@ class SchedulerService:
             "workers": self.workers,
             "pool": self.pool_kind,
             "uptime_seconds": time.monotonic() - self._started,
+            # Which invariant set this tree was checked against: lets a
+            # deployed shard advertise its lint version + ruleset hash.
+            "build": lint_build_info(),
         }
 
     def close(self, *, wait: bool = True) -> None:

@@ -27,7 +27,7 @@ from ..exceptions import InvalidScheduleError, SchedulingError
 from ..model.allotment import Allotment
 from ..model.instance import Instance
 from ..model.schedule import Schedule
-from .events import Event, EventKind
+from .events import Event, EventKind, times_close
 
 __all__ = ["SimulationResult", "simulate_schedule", "OnlineListSimulator"]
 
@@ -139,7 +139,9 @@ def simulate_schedule(schedule: Schedule, *, tol: float = 1e-9) -> SimulationRes
         else:
             for proc in event.procs:
                 if owner[proc] != -1:
-                    if owner_end[proc] <= event.time + tol * max(1.0, event.time):
+                    if owner_end[proc] <= event.time or times_close(
+                        owner_end[proc], event.time, tol=tol
+                    ):
                         # The owner finishes within tolerance of this start:
                         # release it now, let its finish event clear the record.
                         early_released.add((int(owner[proc]), proc))
@@ -222,7 +224,9 @@ class OnlineListSimulator:
             while started_any:
                 started_any = False
                 for task_index in list(pending):
-                    if releases[task_index] > clock + 1e-12:
+                    if releases[task_index] > clock and not times_close(
+                        releases[task_index], clock, tol=1e-12
+                    ):
                         continue  # not arrived yet
                     width = self.allotment[task_index]
                     block = self._find_block(free, width)
@@ -239,7 +243,12 @@ class OnlineListSimulator:
             # Next event: the earliest completion or the next arrival,
             # whichever comes first (arrivals can back-fill a busy machine).
             next_release = min(
-                (releases[i] for i in pending if releases[i] > clock + 1e-12),
+                (
+                    releases[i]
+                    for i in pending
+                    if releases[i] > clock
+                    and not times_close(releases[i], clock, tol=1e-12)
+                ),
                 default=None,
             )
             if not finish_heap:
@@ -257,7 +266,7 @@ class OnlineListSimulator:
             # Advance to the next completion(s).
             clock, task_index, block, width = heapq.heappop(finish_heap)
             free[block : block + width] = True
-            while finish_heap and abs(finish_heap[0][0] - clock) <= 1e-12:
+            while finish_heap and times_close(finish_heap[0][0], clock, tol=1e-12):
                 _, t2, b2, w2 = heapq.heappop(finish_heap)
                 free[b2 : b2 + w2] = True
         schedule.validate(respect_release=True)

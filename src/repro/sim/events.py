@@ -1,11 +1,24 @@
-"""Event types of the discrete-event machine simulator."""
+"""Event types and the time-comparison helper of the machine simulator."""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["EventKind", "Event"]
+__all__ = ["EventKind", "Event", "times_close"]
+
+
+def times_close(a: float, b: float, *, tol: float = 1e-9) -> bool:
+    """True when two simulated timestamps coincide within tolerance.
+
+    The one sanctioned way to test time coincidence (lint rule RL001 flags
+    naked ``==``/``!=`` between time expressions): stitched online
+    timelines shift every epoch's entries by a float epoch start, so two
+    logically equal timestamps routinely differ by an ulp.  The tolerance
+    is scale-aware — ``tol * max(1, |a|, |b|)`` — because an absolute
+    epsilon underflows the float64 ulp once timelines grow past ``1/tol``.
+    """
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
 
 
 class EventKind(enum.Enum):

@@ -1,0 +1,574 @@
+"""Tests of the ``repro lint`` static-analysis suite (see repro/lint/).
+
+Each rule gets positive + negative snippet fixtures (tiny packages built in
+a temp directory and analysed with the real rules), the suppression and
+baseline mechanisms get round-trip coverage, the JSON reporter schema is
+pinned, and the self-check runs the full suite over ``src/repro`` itself
+against the committed baseline — the repo is its own fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.lint import (
+    LINT_VERSION,
+    RULES,
+    Baseline,
+    LintError,
+    build_info,
+    render_json,
+    report_dict,
+    run_lint,
+    ruleset_hash,
+)
+
+ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+
+def lint_files(tmp_path: Path, files: dict[str, str], *, rules=None, baseline=None):
+    for relpath, code in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(code))
+    return run_lint(tmp_path, rules=rules, baseline=baseline)
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        import repro.lint.rules  # noqa: F401  (registration side effect)
+
+        assert set(ALL_RULES) <= set(RULES)
+
+    def test_ruleset_hash_is_stable_and_short(self):
+        assert ruleset_hash() == ruleset_hash()
+        assert len(ruleset_hash()) == 12
+
+    def test_build_info_shape(self):
+        info = build_info()
+        assert info["lint_version"] == LINT_VERSION
+        assert info["ruleset_hash"] == ruleset_hash()
+        assert set(ALL_RULES) <= set(info["rules"])
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_files(tmp_path, {"mod.py": "x = 1\n"}, rules=["RL999"])
+
+
+# ---------------------------------------------------------------------- #
+# RL001 float equality
+# ---------------------------------------------------------------------- #
+class TestRL001:
+    POSITIVE = """
+        def arrived(releases, i, clock):
+            return releases[i] == clock
+    """
+
+    def test_fires_on_time_equality(self, tmp_path):
+        result = lint_files(
+            tmp_path, {"online/x.py": self.POSITIVE}, rules=["RL001"]
+        )
+        assert len(result.new) == 1
+        assert result.new[0].rule == "RL001"
+        assert "times_close" in result.new[0].message
+
+    def test_clean_on_tolerant_and_integer_comparisons(self, tmp_path):
+        code = """
+            def ok(releases, i, clock, owner, task_index, kind):
+                a = releases[i] <= clock + 1e-9
+                b = owner == task_index
+                c = kind == "start"
+                d = len(releases) == 0
+                return a, b, c, d
+        """
+        result = lint_files(tmp_path, {"sim/x.py": code}, rules=["RL001"])
+        assert result.new == []
+
+    def test_out_of_scope_paths_are_ignored(self, tmp_path):
+        result = lint_files(
+            tmp_path, {"model/x.py": self.POSITIVE}, rules=["RL001"]
+        )
+        assert result.new == []
+
+
+# ---------------------------------------------------------------------- #
+# RL002 determinism
+# ---------------------------------------------------------------------- #
+class TestRL002:
+    def test_fires_on_each_nondeterminism_kind(self, tmp_path):
+        code = """
+            import random
+            import numpy as np
+
+            def draw():
+                a = random.random()
+                b = np.random.rand(3)
+                rng = np.random.default_rng()
+                for item in set([3, 1]):
+                    a += item
+                return a, b, rng
+        """
+        result = lint_files(tmp_path, {"core/x.py": code}, rules=["RL002"])
+        messages = " | ".join(f.message for f in result.new)
+        assert len(result.new) == 4
+        assert "random.random" in messages
+        assert "np.random.rand" in messages
+        assert "without an explicit seed" in messages
+        assert "iteration order over a set" in messages
+
+    def test_clean_on_seeded_and_sorted(self, tmp_path):
+        code = """
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                total = 0
+                for item in sorted(set([3, 1])):
+                    total += item
+                return rng, total
+        """
+        result = lint_files(tmp_path, {"core/x.py": code}, rules=["RL002"])
+        assert result.new == []
+
+
+# ---------------------------------------------------------------------- #
+# RL003 fingerprint / shape stability
+# ---------------------------------------------------------------------- #
+class TestRL003:
+    def test_unregistered_as_dict_fires(self, tmp_path):
+        code = """
+            class Thing:
+                def as_dict(self):
+                    return {"a": 1}
+        """
+        result = lint_files(tmp_path, {"analysis/x.py": code}, rules=["RL003"])
+        assert len(result.new) == 1
+        assert "not registered" in result.new[0].message
+
+    def test_key_drift_fires(self, tmp_path):
+        code = """
+            class MalleableTask:
+                def as_dict(self):
+                    return {"name": 1, "times": 2, "extra": 3}
+        """
+        result = lint_files(tmp_path, {"model/task.py": code}, rules=["RL003"])
+        assert len(result.new) == 1
+        assert "drifted" in result.new[0].message
+        assert "extra" in result.new[0].message
+
+    def test_matching_pinned_shape_is_clean(self, tmp_path):
+        code = """
+            class MalleableTask:
+                def as_dict(self):
+                    payload = {"name": self.n, "times": self.t}
+                    payload["release"] = self.r
+                    return payload
+        """
+        result = lint_files(tmp_path, {"model/task.py": code}, rules=["RL003"])
+        assert result.new == []
+
+    def test_fingerprint_domain_tag_drift_fires(self, tmp_path):
+        code = """
+            import hashlib
+
+            def profile_fingerprint(m, times):
+                digest = hashlib.sha256()
+                digest.update(b"repro-instance-v2")
+                return digest.hexdigest()
+        """
+        result = lint_files(
+            tmp_path, {"model/instance.py": code}, rules=["RL003"]
+        )
+        assert any("domain tags" in f.message for f in result.new)
+
+
+# ---------------------------------------------------------------------- #
+# RL004 thread-safety auditor
+# ---------------------------------------------------------------------- #
+class TestRL004:
+    def test_unlocked_read_of_guarded_counter_fires(self, tmp_path):
+        code = """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def incr(self):
+                    with self._lock:
+                        self._count += 1
+
+                def read(self):
+                    return self._count
+        """
+        result = lint_files(tmp_path, {"service/x.py": code}, rules=["RL004"])
+        assert len(result.new) == 1
+        finding = result.new[0]
+        assert finding.symbol == "Svc.read"
+        assert "read outside any lock scope" in finding.message
+
+    def test_all_locked_and_init_writes_are_clean(self, tmp_path):
+        code = """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+                    self.capacity = 8  # config: read under lock, never rewritten
+
+                def incr(self):
+                    with self._lock:
+                        if self._count < self.capacity:
+                            self._count += 1
+
+                def read(self):
+                    with self._lock:
+                        return self._count
+
+                def snapshot(self):
+                    return self.capacity
+        """
+        result = lint_files(tmp_path, {"service/x.py": code}, rules=["RL004"])
+        assert result.new == []
+
+    def test_mutating_call_counts_as_write(self, tmp_path):
+        code = """
+            import threading
+
+            class Svc:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def locked_add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def bare_add(self, x):
+                    self._items.append(x)
+        """
+        result = lint_files(tmp_path, {"service/x.py": code}, rules=["RL004"])
+        assert len(result.new) == 1
+        assert result.new[0].symbol == "Svc.bare_add"
+
+
+# ---------------------------------------------------------------------- #
+# RL005 HTTP error mapping
+# ---------------------------------------------------------------------- #
+class TestRL005:
+    def test_bare_500_without_model_error_mapping_fires(self, tmp_path):
+        code = """
+            class Handler:
+                def handle(self):
+                    try:
+                        self.work()
+                    except Exception as exc:
+                        self._send_json(500, {"error": str(exc)})
+        """
+        result = lint_files(tmp_path, {"service/h.py": code}, rules=["RL005"])
+        assert len(result.new) == 1
+        assert "bare 500" in result.new[0].message
+
+    def test_model_error_answering_5xx_fires(self, tmp_path):
+        code = """
+            class Handler:
+                def handle(self):
+                    try:
+                        self.work()
+                    except ModelError as exc:
+                        self._send_json(500, {"error": str(exc)})
+        """
+        result = lint_files(tmp_path, {"service/h.py": code}, rules=["RL005"])
+        assert len(result.new) == 1
+        assert "must map to 4xx" in result.new[0].message
+
+    def test_compliant_handler_chain_is_clean(self, tmp_path):
+        code = """
+            class Handler:
+                def handle(self):
+                    try:
+                        self.work()
+                    except ModelError as exc:
+                        self._send_json(400, {"error": str(exc)})
+                    except ServiceOverloadedError as exc:
+                        self._send_json(503, {"error": str(exc)})
+                    except Exception as exc:
+                        self._send_json(500, {"error": str(exc)})
+        """
+        result = lint_files(tmp_path, {"service/h.py": code}, rules=["RL005"])
+        assert result.new == []
+
+
+# ---------------------------------------------------------------------- #
+# RL006 registry conformance
+# ---------------------------------------------------------------------- #
+class TestRL006:
+    REGISTRY = """
+        from .algos import BadScheduler, GoodScheduler
+
+        ALGORITHMS = {"good": GoodScheduler, "bad": BadScheduler}
+        ONLINE_KERNELS = ("k1",)
+
+        def make_rescheduler(kernel="k1"):
+            from .kerns import K1
+            factories = {cls.kernel: cls for cls in (K1,)}
+            return factories[kernel]
+    """
+    ALGOS = """
+        class GoodScheduler:
+            name = "good"
+
+            def schedule(self, instance):
+                return instance
+
+        class BadScheduler:
+            def __init__(self):
+                self.name = "bad"
+
+            def schedule(self, instance):
+                return instance
+    """
+    KERNS = """
+        class K1:
+            kernel = "k1"
+
+            def replay(self, trace):
+                return trace
+    """
+
+    def files(self, *, registry=None, kerns=None):
+        return {
+            "registry.py": registry or self.REGISTRY,
+            "algos.py": self.ALGOS,
+            "kerns.py": kerns or self.KERNS,
+        }
+
+    def test_missing_class_level_name_fires(self, tmp_path):
+        result = lint_files(tmp_path, self.files(), rules=["RL006"])
+        assert len(result.new) == 1
+        finding = result.new[0]
+        assert finding.symbol == "BadScheduler"
+        assert "class-level 'name'" in finding.message
+
+    def test_online_kernels_drift_fires(self, tmp_path):
+        registry = self.REGISTRY.replace('("k1",)', '("k1", "k2")')
+        result = lint_files(
+            tmp_path, self.files(registry=registry), rules=["RL006"]
+        )
+        assert any(f.symbol == "ONLINE_KERNELS" for f in result.new)
+
+    def test_kernel_without_replay_fires(self, tmp_path):
+        kerns = """
+            class K1:
+                kernel = "k1"
+        """
+        result = lint_files(tmp_path, self.files(kerns=kerns), rules=["RL006"])
+        assert any("'replay'" in f.message for f in result.new)
+
+
+# ---------------------------------------------------------------------- #
+# suppressions
+# ---------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_same_line_suppression(self, tmp_path):
+        code = """
+            import random
+
+            def jitter():
+                return random.random()  # repro-lint: disable=RL002
+        """
+        result = lint_files(tmp_path, {"core/x.py": code}, rules=["RL002"])
+        assert result.new == []
+        assert len(result.suppressed) == 1
+
+    def test_standalone_suppression_covers_next_line(self, tmp_path):
+        code = """
+            import random
+
+            def jitter():
+                # repro-lint: disable=RL002
+                return random.random()
+        """
+        result = lint_files(tmp_path, {"core/x.py": code}, rules=["RL002"])
+        assert result.new == []
+        assert len(result.suppressed) == 1
+
+    def test_suppression_is_per_rule(self, tmp_path):
+        code = """
+            import random
+
+            def jitter():
+                return random.random()  # repro-lint: disable=RL001
+        """
+        result = lint_files(tmp_path, {"core/x.py": code}, rules=["RL002"])
+        assert len(result.new) == 1
+
+
+# ---------------------------------------------------------------------- #
+# baseline
+# ---------------------------------------------------------------------- #
+class TestBaseline:
+    CODE = """
+        import random
+
+        def one():
+            return random.random()
+
+        def two():
+            return random.random()
+    """
+
+    def test_round_trip_grandfathers_findings(self, tmp_path):
+        first = lint_files(
+            tmp_path / "a", {"core/x.py": self.CODE}, rules=["RL002"]
+        )
+        assert len(first.new) == 2
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.new, ruleset=first.ruleset_hash).save(path)
+        again = lint_files(
+            tmp_path / "b", {"core/x.py": self.CODE}, rules=["RL002"], baseline=path
+        )
+        assert again.new == []
+        assert len(again.grandfathered) == 2
+        assert again.exit_code == 0
+
+    def test_extra_occurrence_beyond_count_is_new(self, tmp_path):
+        first = lint_files(
+            tmp_path / "a", {"core/x.py": self.CODE}, rules=["RL002"]
+        )
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(first.new).save(path)
+        extra = (
+            textwrap.dedent(self.CODE)
+            + "\ndef three():\n    return random.random()\n"
+        )
+        again = lint_files(
+            tmp_path / "b", {"core/x.py": extra}, rules=["RL002"], baseline=path
+        )
+        assert len(again.new) == 1
+        assert again.new[0].symbol == "three"
+        assert again.exit_code == 1
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+# ---------------------------------------------------------------------- #
+# reporters
+# ---------------------------------------------------------------------- #
+class TestReporters:
+    def test_json_report_schema(self, tmp_path):
+        code = """
+            import random
+
+            def draw():
+                return random.random()
+        """
+        result = lint_files(tmp_path, {"core/x.py": code}, rules=["RL002"])
+        payload = json.loads(render_json(result))
+        assert payload == report_dict(result)
+        assert set(payload) == {
+            "lint_version",
+            "ruleset_hash",
+            "root",
+            "rules",
+            "summary",
+            "findings",
+            "grandfathered",
+        }
+        assert payload["lint_version"] == LINT_VERSION
+        assert set(payload["summary"]) == {
+            "files_scanned",
+            "new",
+            "grandfathered",
+            "suppressed",
+            "baseline_entries",
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "symbol", "message"}
+        assert finding["rule"] == "RL002"
+        rule_row = payload["rules"][0]
+        assert set(rule_row) == {"id", "title", "version", "scope", "project"}
+
+
+# ---------------------------------------------------------------------- #
+# CLI + self-check
+# ---------------------------------------------------------------------- #
+def repo_paths() -> tuple[Path, Path]:
+    package_root = Path(repro.__file__).resolve().parent
+    return package_root, package_root.parent.parent / "lint-baseline.json"
+
+
+class TestCLIAndSelfCheck:
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "--root", str(clean)]) == 0
+
+        dirty = tmp_path / "dirty" / "core"
+        dirty.mkdir(parents=True)
+        (dirty / "x.py").write_text("import random\ny = random.random()\n")
+        assert main(["lint", "--root", str(tmp_path / "dirty")]) == 1
+        assert main(["lint", "--root", str(tmp_path / "dirty"), "--rule", "RL999"]) == 2
+        capsys.readouterr()
+
+    def test_cli_json_output_parses(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["lint", "--json", "--root", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 0
+
+    def test_cli_write_baseline_round_trip(self, tmp_path, capsys):
+        core = tmp_path / "pkg" / "core"
+        core.mkdir(parents=True)
+        (core / "x.py").write_text("import random\ny = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        root = str(tmp_path / "pkg")
+        assert (
+            main(["lint", "--root", root, "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        assert baseline.is_file()
+        assert main(["lint", "--root", root, "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_self_check_src_repro_is_clean_against_baseline(self):
+        package_root, baseline = repo_paths()
+        assert baseline.is_file(), "committed lint-baseline.json is missing"
+        result = run_lint(package_root, baseline=baseline)
+        assert result.files_scanned > 50
+        assert [f.render() for f in result.new] == []
+        # The grandfathered set must not silently shrink below the baseline
+        # either direction matters: fixing a finding should also prune the
+        # baseline entry (tracked manually, see README).
+        assert len(result.grandfathered) == result.baseline_entries
+
+    def test_every_rule_runs_in_self_check(self):
+        package_root, baseline = repo_paths()
+        result = run_lint(package_root, baseline=baseline)
+        assert [r.id for r in result.rules] == list(ALL_RULES)
+
+
+class TestServiceBuildInfo:
+    def test_metrics_advertises_lint_ruleset(self):
+        from repro.service import SchedulerService
+
+        with SchedulerService(workers=1) as service:
+            build = service.metrics()["build"]
+        assert build == build_info()
+        assert build["ruleset_hash"] == ruleset_hash()
