@@ -27,10 +27,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.model.instance import Instance
 from repro.registry import make_scheduler
 from repro.service import canonical_json, run_loadtest, start_background_server
+from repro.service.core import SchedulerService
 from repro.service.loadtest import build_workload_payloads
 
 
@@ -65,6 +67,70 @@ def check_byte_identity(payloads: list[dict], base_url: str) -> int:
     return mismatches
 
 
+def measure_obs_overhead(payloads: list[dict], *, repeats: int) -> float:
+    """Fractional warm-path cost of tracing + histograms.
+
+    Self-hosts two otherwise-identical daemons — one with ``tracing=True``
+    (the default) and one with ``tracing=False`` — primes both caches with
+    the same payloads, and times warm cache-hit replays back-to-back in
+    *pairs* (alternating which configuration goes first), so clock drift
+    and shared-runner noise hit both sides equally.  The overhead is the
+    *median* paired difference over the mean of the untraced fastest
+    decile: the median cancels symmetric noise within pairs, the decile
+    floor is the honest per-request base cost (noise only adds time).
+
+    The measurement repeats in three independent rounds and keeps the
+    *smallest* estimate: interference (another process stealing the core,
+    a frequency drop) only ever inflates an estimate, while a genuine
+    instrumentation regression inflates every round alike.
+
+    Returns a fraction (0.05 = tracing makes the warm path 5% slower;
+    small negatives are measurement noise).
+    """
+    from repro.service import ServiceClient
+
+    servers: dict[bool, object] = {}
+    clients: dict[bool, ServiceClient] = {}
+
+    def round_overhead() -> float:
+        diffs: list[float] = []
+        base: list[float] = []
+        for i in range(repeats):
+            order = (True, False) if i % 2 == 0 else (False, True)
+            for payload in payloads:
+                pair = {}
+                for tracing in order:
+                    start = time.perf_counter()
+                    clients[tracing].schedule_payload(payload)
+                    pair[tracing] = time.perf_counter() - start
+                diffs.append(pair[True] - pair[False])
+                base.append(pair[False])
+        diffs.sort()
+        base.sort()
+        decile = max(1, len(base) // 10)
+        floor = sum(base[:decile]) / decile
+        return diffs[len(diffs) // 2] / floor
+
+    try:
+        for tracing in (True, False):
+            server, _ = start_background_server(
+                service=SchedulerService(tracing=tracing)
+            )
+            servers[tracing] = server
+            host, port = server.server_address[:2]
+            clients[tracing] = ServiceClient(f"http://{host}:{port}")
+            # Prime the fingerprint cache, then warm the whole stack
+            # (lazy imports, trace ring growth, socket buffers) so the
+            # recorded rounds measure steady state.
+            for _ in range(3):
+                for payload in payloads:
+                    clients[tracing].schedule_payload(payload)
+        return min(round_overhead() for _ in range(3))
+    finally:
+        for server in servers.values():
+            server.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small sizes for CI")
@@ -73,6 +139,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=5.0,
         help="acceptance bar for warm/cold throughput (default 5x)",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="acceptance bar for the warm-path cost of tracing + "
+        "histograms (default 0.05 = 5%%)",
     )
     args = parser.parse_args(argv)
 
@@ -110,6 +183,10 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         server.close()
 
+    obs_overhead = measure_obs_overhead(
+        payloads, repeats=30 if args.quick else 60
+    )
+
     cold, warm = report["cold"], report["warm"]
     print(f"pool: {report['config']['pool_size']} instances "
           f"({tasks} tasks x {procs} procs), {concurrency} client threads")
@@ -121,12 +198,16 @@ def main(argv: list[str] | None = None) -> int:
           f"(bar: {args.min_speedup:.1f}x)")
     print(f"replayed responses consistent  : {report['consistent']}")
     print(f"byte-identical to direct calls : {mismatches == 0}")
+    print(f"tracing+histogram warm-path cost: {obs_overhead:+.1%}  "
+          f"(bar: {args.max_obs_overhead:.0%})")
     bench = {
         "benchmark": "service_throughput",
         "quick": args.quick,
         "report": report,
         "byte_identity_mismatches": mismatches,
         "min_speedup": args.min_speedup,
+        "obs_overhead_ratio": obs_overhead,
+        "max_obs_overhead": args.max_obs_overhead,
     }
     print("BENCH " + json.dumps(bench, sort_keys=True))
 
@@ -142,6 +223,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(f"{mismatches} response(s) differ from direct scheduler calls")
     if cold["errors"] or warm["errors"]:
         failures.append(f"request errors: cold={cold['errors']} warm={warm['errors']}")
+    if obs_overhead > args.max_obs_overhead:
+        failures.append(
+            f"tracing+histogram warm-path overhead {obs_overhead:.1%} above "
+            f"the {args.max_obs_overhead:.0%} bar"
+        )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

@@ -347,17 +347,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(
             f"epoch {epoch.index:3d}  t={epoch.start:10.4g}  "
             f"tasks={epoch.num_tasks:4d}  makespan={epoch.makespan:10.4g}  "
-            f"wait={epoch.waiting:8.4g}",
+            f"wait={epoch.waiting:8.4g}  compute={epoch.compute_ms:7.2f}ms  "
+            f"guesses={epoch.engine.get('guesses', 0):4d}",
             flush=True,
         )
 
     result = rescheduler.replay(trace, on_epoch=stream)
     metrics = result.metrics()
+    engine = metrics["engine"]
     print(
         f"replay: {metrics['num_epochs']} epochs  makespan={metrics['makespan']:.6g}  "
         f"flow mean/max={metrics['mean_flow']:.4g}/{metrics['max_flow']:.4g}  "
         f"stretch mean/max={metrics['mean_stretch']:.3f}/{metrics['max_stretch']:.3f}  "
         f"utilization={metrics['utilization']:.3f}"
+    )
+    print(
+        f"kernel compute: {metrics['compute_ms']:.2f}ms  "
+        f"engine guesses={engine['guesses']}  "
+        f"memo hits/misses={engine['memo_hits']}/{engine['memo_misses']}"
     )
     if args.validate:
         sim = simulate_and_check(result.schedule, respect_release=True)

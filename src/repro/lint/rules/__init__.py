@@ -6,6 +6,7 @@ from . import (  # noqa: F401 - imported for the registration side effect
     determinism,
     float_equality,
     http_errors,
+    obs_conformance,
     registry_conformance,
     schema,
     thread_safety,
@@ -15,6 +16,7 @@ __all__ = [
     "determinism",
     "float_equality",
     "http_errors",
+    "obs_conformance",
     "registry_conformance",
     "schema",
     "thread_safety",

@@ -1,0 +1,182 @@
+"""RL007: span and metric names come from the pinned ``repro.obs.names`` registry.
+
+Trace spans and Prometheus metric families are cross-component contracts:
+the router's ``/trace/<id>`` stitches shard spans by *name*, dashboards and
+scrape configs key off the ``repro_*`` family names, and the exposition
+renderer derives HELP/TYPE metadata from :data:`repro.obs.names.METRICS`.
+An ad-hoc literal at a call site ("serialise" next to "serialize", a
+``repro_latency`` family nobody declared) silently forks that contract.
+
+This rule re-derives the registry *statically* from ``obs/names.py`` and
+checks every other module against it:
+
+* the first argument of every ``.span(...)`` / ``.record_span(...)`` call
+  must be a ``SPAN_*`` constant defined in the registry — never a string
+  literal, and never an identifier the registry does not define;
+* every string literal matching ``repro_[a-z0-9_]+`` outside
+  ``obs/names.py`` must be a declared metric family in ``METRICS``.
+
+Adding a span or metric stays a one-line, reviewed change to
+``obs/names.py`` — exactly like RL003's serialized-shape registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+
+#: Path of the pinned name registry, relative to the analysis root.
+NAMES_PATH = "obs/names.py"
+
+_METRIC_LITERAL = re.compile(r"repro_[a-z0-9_]+\Z")
+
+
+def _registry_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """``(span_constants, metric_names)`` declared by ``obs/names.py``.
+
+    Span constants are the module-level ``SPAN_* = "literal"`` assignments;
+    metric names are the string keys of the ``METRICS`` dict literal plus
+    every ``METRIC_* = "repro_..."`` assignment (the constants and the dict
+    are kept in sync by construction — both sides are accepted here so the
+    rule never depends on which one a call site references).
+    """
+    spans: set[str] = set()
+    metrics: set[str] = set()
+    for node in ast.walk(tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            continue
+        value = node.value
+        if any(n.startswith("SPAN_") for n in names):
+            spans.update(n for n in names if n.startswith("SPAN_"))
+        if any(n.startswith("METRIC_") for n in names) and isinstance(
+            value, ast.Constant
+        ):
+            if isinstance(value.value, str):
+                metrics.add(value.value)
+        if "METRICS" in names and isinstance(value, ast.Dict):
+            metrics.update(
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    return spans, metrics
+
+
+def _span_arg_findings(
+    module, spans: set[str]
+) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("span", "record_span")
+        ):
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield Finding(
+                path=module.path,
+                line=arg.lineno,
+                col=arg.col_offset,
+                rule="RL007",
+                symbol=func.attr,
+                message=(
+                    f"span name {arg.value!r} is a string literal; reference "
+                    f"the pinned SPAN_* constant from repro.obs.names so the "
+                    f"cross-component span vocabulary cannot fork"
+                ),
+            )
+        elif isinstance(arg, ast.Name):
+            if not arg.id.startswith("SPAN_") or arg.id not in spans:
+                yield Finding(
+                    path=module.path,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    rule="RL007",
+                    symbol=func.attr,
+                    message=(
+                        f"span name identifier '{arg.id}' is not a SPAN_* "
+                        f"constant declared in {NAMES_PATH}; add it to the "
+                        f"registry first"
+                    ),
+                )
+        elif isinstance(arg, ast.Attribute):
+            if not arg.attr.startswith("SPAN_") or arg.attr not in spans:
+                yield Finding(
+                    path=module.path,
+                    line=arg.lineno,
+                    col=arg.col_offset,
+                    rule="RL007",
+                    symbol=func.attr,
+                    message=(
+                        f"span name attribute '{arg.attr}' is not a SPAN_* "
+                        f"constant declared in {NAMES_PATH}; add it to the "
+                        f"registry first"
+                    ),
+                )
+        # Subscripts, f-strings and other computed expressions are out of
+        # static reach; the Trace implementation still rejects unknown
+        # names at runtime, and deliberate forwarding wrappers suppress
+        # the line explicitly.
+
+
+def _metric_literal_findings(
+    module, metrics: set[str]
+) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+            continue
+        if not _METRIC_LITERAL.fullmatch(node.value):
+            continue
+        if node.value not in metrics:
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="RL007",
+                symbol=node.value,
+                message=(
+                    f"metric family {node.value!r} is not declared in "
+                    f"{NAMES_PATH} METRICS; declare it (name, type, help) "
+                    f"before emitting or scraping it"
+                ),
+            )
+
+
+@rule(
+    "RL007",
+    "observability name registry conformance",
+    rationale=(
+        "span names stitch traces across components and repro_* metric "
+        "families feed scrape configs; both vocabularies must be declared "
+        "once in repro.obs.names, never forked at a call site"
+    ),
+    version=1,
+    project=True,
+)
+def check_obs_conformance(project) -> Iterator[Finding]:
+    registry = project.module(NAMES_PATH)
+    if registry is None:
+        return  # analysing a tree without the obs package; nothing to pin
+    spans, metrics = _registry_names(registry.tree)
+    for module in project.modules.values():
+        if module.path == NAMES_PATH:
+            continue
+        yield from _span_arg_findings(module, spans)
+        yield from _metric_literal_findings(module, metrics)

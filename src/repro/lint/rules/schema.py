@@ -36,7 +36,17 @@ SCHEMAS: dict[str, frozenset[str]] = {
         {"algorithm", "entries", "task_index", "start", "first_proc", "num_procs", "duration"}
     ),
     "online/epoch.py::EpochReport.as_dict": frozenset(
-        {"index", "start", "end", "num_tasks", "makespan", "waiting"}
+        {"index", "start", "end", "num_tasks", "makespan", "waiting",
+         "compute_ms", "engine"}
+    ),
+    "obs/histogram.py::LatencyHistogram.as_dict": frozenset(
+        {"scheme", "count", "sum_ms", "min_ms", "max_ms", "counts"}
+    ),
+    "obs/tracing.py::Span.as_dict": frozenset(
+        {"span_id", "name", "start_ms", "duration_ms", "parent_id", "meta"}
+    ),
+    "obs/tracing.py::Trace.as_dict": frozenset(
+        {"trace_id", "component", "started_at", "duration_ms", "spans"}
     ),
     "service/cache.py::CacheStats.as_dict": frozenset(
         {"hits", "misses", "evictions_lru", "evictions_ttl", "expired_purged", "hit_rate"}

@@ -167,6 +167,15 @@ class Instance:
             self._engine = AllotmentEngine(self.times_matrix, self.works_matrix)
         return self._engine
 
+    def engine_cache_info(self) -> dict | None:
+        """Memo statistics of the engine, or ``None`` before its first use.
+
+        Non-forcing: unlike :attr:`engine`, asking for the statistics of a
+        kernel run that never probed γ does not build (and stack matrices
+        for) an engine nobody used.
+        """
+        return None if self._engine is None else self._engine.cache_info()
+
     @property
     def times_matrix(self) -> np.ndarray:
         """Stacked execution-time profiles, ``times[i, p-1] = t_i(p)``.

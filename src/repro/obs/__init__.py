@@ -1,0 +1,36 @@
+"""`repro.obs` — stdlib-only observability: tracing, histograms, exposition.
+
+The three pillars, threaded through every serving and replay layer:
+
+- :mod:`repro.obs.tracing` — contextvar span tracer with deterministic
+  seeded ids, ``X-Repro-Trace-Id`` propagation across the router→shard
+  hop, and a bounded ring-buffer :class:`TraceStore` behind
+  ``GET /trace/<id>`` / ``GET /traces``.
+- :mod:`repro.obs.histogram` — fixed log-bucket latency histograms that
+  merge *exactly* across shards, replacing unbounded latency lists and
+  the max-of-p99s fleet aggregation.
+- :mod:`repro.obs.prometheus` — text exposition of the same numbers via
+  ``GET /metrics?format=prometheus``.
+
+Every span/metric name is pinned in :mod:`repro.obs.names`; lint rule
+RL007 keeps call sites honest.
+"""
+
+from .histogram import BOUNDS_MS, LatencyHistogram
+from .names import METRIC_NAMES, METRICS, SPAN_NAMES
+from .prometheus import render_cluster_metrics, render_service_metrics
+from .tracing import Span, Trace, TraceStore, Tracer
+
+__all__ = [
+    "BOUNDS_MS",
+    "LatencyHistogram",
+    "METRICS",
+    "METRIC_NAMES",
+    "SPAN_NAMES",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "Tracer",
+    "render_cluster_metrics",
+    "render_service_metrics",
+]

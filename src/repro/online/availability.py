@@ -39,6 +39,7 @@ an empty staircase and reproduces the offline kernel's schedule bit-exactly
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -49,7 +50,7 @@ from ..model.schedule import Schedule
 from ..model.task import EPS
 from ..registry import make_scheduler
 from ..scheduler import Scheduler
-from .epoch import EpochReport, EpochRescheduler, ReplayResult
+from .epoch import EpochReport, EpochRescheduler, ReplayResult, engine_stats
 
 __all__ = ["AvailabilityProfile", "AvailabilityRescheduler"]
 
@@ -299,7 +300,9 @@ class AvailabilityRescheduler:
             batch = instance.subset(
                 pending, name=f"{instance.name}@avail{len(epochs)}"
             )
+            compute_start = time.perf_counter()
             batch_schedule = self._scheduler.schedule(batch)
+            compute_ms = (time.perf_counter() - compute_start) * 1e3
             profile = AvailabilityProfile(busy_until, clock)
             proc_free = profile.busy_until.copy()
             committed: set[int] = set()
@@ -340,6 +343,8 @@ class AvailabilityRescheduler:
                     num_tasks=len(committed),
                     makespan=end - clock,
                     waiting=waited / len(committed),
+                    compute_ms=compute_ms,
+                    engine=engine_stats(batch),
                 )
                 epochs.append(report)
                 pending = [i for i in pending if i not in committed]

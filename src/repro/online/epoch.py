@@ -28,6 +28,7 @@ paper (√3 for MRT) applies batch-wise to the stitched timeline.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -40,7 +41,24 @@ from ..model.task import EPS
 from ..registry import make_scheduler
 from ..scheduler import Scheduler
 
-__all__ = ["EpochReport", "EpochRescheduler", "ReplayResult"]
+__all__ = ["EpochReport", "EpochRescheduler", "ReplayResult", "engine_stats"]
+
+
+def engine_stats(batch: Instance) -> dict:
+    """Memo statistics of one epoch batch, in the :class:`EpochReport` shape.
+
+    Each epoch schedules a *fresh* subset instance, so its engine counters
+    are exactly that epoch's γ(d) evaluations — no cross-epoch reset needed.
+    Kernels that never probe γ (the engine was never built) report zeros.
+    """
+    info = batch.engine_cache_info()
+    if info is None:
+        return {"memo_hits": 0, "memo_misses": 0, "guesses": 0}
+    return {
+        "memo_hits": info["hits"],
+        "memo_misses": info["misses"],
+        "guesses": info["hits"] + info["misses"],
+    }
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,13 @@ class EpochReport:
         them).
     waiting:
         Mean time the batch's tasks spent between release and epoch start.
+    compute_ms:
+        Wall-clock milliseconds the offline kernel spent scheduling this
+        epoch's batch (the dichotomic search, not the replay bookkeeping).
+    engine:
+        Allotment-engine memo statistics of the batch: ``memo_hits``,
+        ``memo_misses`` and ``guesses`` (distinct γ(d) evaluations, i.e.
+        hits + misses).  All zero for kernels that never probe γ.
     """
 
     index: int
@@ -73,6 +98,8 @@ class EpochReport:
     num_tasks: int
     makespan: float
     waiting: float
+    compute_ms: float = 0.0
+    engine: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +109,8 @@ class EpochReport:
             "num_tasks": self.num_tasks,
             "makespan": self.makespan,
             "waiting": self.waiting,
+            "compute_ms": self.compute_ms,
+            "engine": dict(self.engine),
         }
 
 
@@ -142,6 +171,18 @@ class ReplayResult:
             self.schedule.instance.num_procs * horizon
         )
 
+    def compute_ms(self) -> float:
+        """Total kernel compute time across epochs (milliseconds)."""
+        return float(sum(epoch.compute_ms for epoch in self.epochs))
+
+    def engine_totals(self) -> dict:
+        """Allotment-engine memo statistics summed over every epoch."""
+        totals = {"memo_hits": 0, "memo_misses": 0, "guesses": 0}
+        for epoch in self.epochs:
+            for key in totals:
+                totals[key] += int(epoch.engine.get(key, 0))
+        return totals
+
     def metrics(self) -> dict:
         """Summary metrics in the shape streamed by the CLI and the service."""
         flows = self.flow_times()
@@ -158,6 +199,8 @@ class ReplayResult:
             "mean_stretch": float(stretches.mean()),
             "max_stretch": float(stretches.max()),
             "utilization": self.utilization(),
+            "compute_ms": self.compute_ms(),
+            "engine": self.engine_totals(),
         }
 
 
@@ -237,7 +280,9 @@ class EpochRescheduler:
             batch = instance.subset(
                 pending, name=f"{instance.name}@epoch{len(epochs)}"
             )
+            compute_start = time.perf_counter()
             batch_schedule = self._scheduler.schedule(batch)
+            compute_ms = (time.perf_counter() - compute_start) * 1e3
             # The epoch end is the max finish of the *stitched* entries (not
             # ``clock + batch makespan``): the two differ by float rounding,
             # and the next epoch must start bit-exactly when the machine
@@ -258,6 +303,8 @@ class EpochRescheduler:
                 num_tasks=len(pending),
                 makespan=batch_schedule.makespan(),
                 waiting=float(np.mean([clock - releases[i] for i in pending])),
+                compute_ms=compute_ms,
+                engine=engine_stats(batch),
             )
             epochs.append(report)
             if on_epoch is not None:

@@ -115,7 +115,9 @@ class ServiceClient:
         conn.close()
         self._local.conn = None
 
-    def _request_once(self, path: str, body: bytes | None, *, method: str) -> dict:
+    def _request_once(
+        self, path: str, body: bytes | None, *, method: str, decode: str = "json"
+    ) -> Any:
         headers = {"Accept": "application/json"}
         if body is not None:
             headers["Content-Type"] = "application/json"
@@ -135,6 +137,10 @@ class ServiceClient:
                 if reused and attempt == 0:
                     continue
                 raise
+            # Trace ids travel in a response header (never the body, which
+            # must stay byte-identical); remember the last one per thread so
+            # callers can fetch the matching /trace/<id> document.
+            self._local.last_trace_id = response.getheader("X-Repro-Trace-Id")
             if response.will_close:
                 self._drop_connection(conn)
             break
@@ -146,6 +152,8 @@ class ServiceClient:
             raise ServiceHTTPError(
                 response.status, error_body, f"{self.base_url}{path}"
             )
+        if decode == "text":
+            return data.decode()
         return json.loads(data)
 
     def _request(
@@ -186,11 +194,31 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
+    @property
+    def last_trace_id(self) -> str | None:
+        """Trace id of this thread's most recent response (header-borne)."""
+        return getattr(self._local, "last_trace_id", None)
+
     def healthz(self) -> dict:
         return self._request("/healthz")
 
     def metrics(self) -> dict:
         return self._request("/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (``GET /metrics?format=prometheus``)."""
+        return self._request_once(
+            "/metrics?format=prometheus", None, method="GET", decode="text"
+        )
+
+    def trace(self, trace_id: str) -> dict:
+        """One stitched trace document (``GET /trace/<id>``); 404 raises."""
+        return self._request(f"/trace/{trace_id}")
+
+    def traces(self, *, slow_ms: float | None = None) -> dict:
+        """Trace summaries + the slow-request log (``GET /traces``)."""
+        suffix = f"?slow_ms={slow_ms}" if slow_ms is not None else ""
+        return self._request(f"/traces{suffix}")
 
     def purge(self, *, all: bool = False) -> dict:  # noqa: A002 (wire name)
         """Send the explicit cache-eviction message (``POST /purge``)."""

@@ -41,11 +41,14 @@ from collections import deque
 from dataclasses import dataclass
 from hashlib import blake2b
 from http.server import ThreadingHTTPServer
-
-import numpy as np
+from urllib.parse import urlsplit
 
 from ...exceptions import ClusterError
 from ...lint.registry import build_info as lint_build_info
+from ...obs.histogram import LatencyHistogram
+from ...obs.names import SPAN_FORWARD, SPAN_ROUTE
+from ...obs.prometheus import render_cluster_metrics
+from ...obs.tracing import Trace, TraceStore, Tracer
 from ..cache import MISS, LRUTTLCache
 from ..core import canonical_json, payload_fingerprint
 from ..server import JsonRequestHandler
@@ -158,7 +161,8 @@ class _RouterHandler(JsonRequestHandler):
     # routes
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-        if self.path == "/healthz":
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
             supervisor = self.server.supervisor
             alive = supervisor.alive_count()
             self._send_json(
@@ -171,10 +175,58 @@ class _RouterHandler(JsonRequestHandler):
                     "uptime_seconds": supervisor.uptime_seconds,
                 },
             )
-        elif self.path == "/metrics":
-            self._send_json(200, self.server.aggregate_metrics())
+        elif url.path == "/metrics":
+            metrics = self.server.aggregate_metrics()
+            if self._query_param(url.query, "format") == "prometheus":
+                self._send_prometheus(render_cluster_metrics(metrics))
+            else:
+                self._send_json(200, metrics)
+        elif url.path.startswith("/trace/"):
+            self._handle_trace(url.path[len("/trace/") :])
+        elif url.path == "/traces":
+            self._handle_traces(url.query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_trace(self, trace_id: str) -> None:
+        """Stitch one trace across the fleet: router + every shard component.
+
+        The router's component is the authoritative head (it observed the
+        client-facing request); shard components are gathered with a
+        best-effort fan-out keyed by the same propagated id, so one
+        ``X-Repro-Trace-Id`` yields a single document spanning the forward
+        hop *and* the shard-side pipeline.
+        """
+        trace = self.server.traces.get(trace_id)
+        components: list[dict] = []
+        if trace is not None:
+            components.append(trace.as_dict())
+        components.extend(
+            self.server.supervisor.gather_trace_components(trace_id)
+        )
+        if not components:
+            self._send_json(404, {"error": f"unknown trace {trace_id!r}"})
+            return
+        self._send_json(200, {"trace_id": trace_id, "components": components})
+
+    def _handle_traces(self, query: str) -> None:
+        """Router-side trace summaries (shard spans stitch in via /trace/<id>)."""
+        store = self.server.traces
+        slow_param = self._query_param(query, "slow_ms")
+        try:
+            slow_ms = float(slow_param) if slow_param is not None else None
+        except ValueError:
+            self._send_json(400, {"error": f"bad slow_ms {slow_param!r}"})
+            return
+        self._send_json(
+            200,
+            {
+                "traces": store.summaries(slow_ms=slow_ms),
+                "slow_log": store.slow_log(),
+                "slow_total": store.slow_total,
+                "slow_ms": store.slow_ms,
+            },
+        )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         if self.path == "/schedule":
@@ -197,6 +249,13 @@ class _RouterHandler(JsonRequestHandler):
         # replays skip the JSON parse + fingerprint entirely (a ~100-byte
         # digest lookup instead), which keeps the router off the critical
         # path of warm-hit throughput.
+        server = self.server
+        trace: Trace | None = None
+        if server.tracing:
+            # Adopt a client-supplied id or mint one; either way the same id
+            # travels to the owning shard so /trace/<id> stitches both sides.
+            trace = server.tracer.start(self.headers.get("X-Repro-Trace-Id"))
+        route_start = time.perf_counter()
         digest = blake2b(raw, digest_size=16).digest()
         cached = self.server.route_cache.get(digest)
         if cached is not MISS:
@@ -204,6 +263,16 @@ class _RouterHandler(JsonRequestHandler):
         else:
             key, fast_headers = routing_info(raw)
             self.server.route_cache.put(digest, (key, fast_headers))
+        if trace is not None:
+            trace.record_span(
+                SPAN_ROUTE,
+                route_start,
+                time.perf_counter(),
+                route_cached=cached is not MISS,
+            )
+        forward_headers = dict(fast_headers)
+        if trace is not None:
+            forward_headers["X-Repro-Trace-Id"] = trace.trace_id
         start = time.perf_counter()
         attempts = self.server.forward_retries + 1
         for attempt in range(attempts):
@@ -213,27 +282,74 @@ class _RouterHandler(JsonRequestHandler):
                 shard_id, url = self.server.supervisor.route(key)
             except ClusterError as exc:
                 self.server.record_route_error(None)
-                self._send_json(503, {"error": str(exc)})
+                self._send_routed(503, {"error": str(exc)}, trace)
                 return
+            forward_start = time.perf_counter()
             try:
-                status, body = self._forward_once(shard_id, url, raw, fast_headers)
+                status, body = self._forward_once(
+                    shard_id, url, raw, forward_headers
+                )
             except (OSError, http.client.HTTPException):
+                if trace is not None:
+                    trace.record_span(
+                        SPAN_FORWARD,
+                        forward_start,
+                        time.perf_counter(),
+                        shard=shard_id,
+                        attempt=attempt,
+                        error=True,
+                    )
                 self.server.record_route_error(shard_id)
                 if attempt + 1 >= attempts:
-                    self._send_json(
+                    self._send_routed(
                         503,
                         {
                             "error": f"shard {shard_id} unavailable after "
                             f"{attempts} attempts; retry later"
                         },
+                        trace,
                     )
                     return
                 time.sleep(self.server.retry_wait)
                 continue
+            if trace is not None:
+                trace.record_span(
+                    SPAN_FORWARD,
+                    forward_start,
+                    time.perf_counter(),
+                    shard=shard_id,
+                    attempt=attempt,
+                    status=status,
+                )
             elapsed_ms = (time.perf_counter() - start) * 1e3
             self.server.record_forward(shard_id, elapsed_ms)
-            self._send_body(status, body)
+            self._send_routed(status, body, trace)
             return
+
+    def _send_routed(
+        self, status: int, body: bytes | dict, trace: Trace | None
+    ) -> None:
+        """Land the router trace, then relay ``body`` with the trace header.
+
+        The trace is stored for *every* outcome — a 503 after exhausted
+        retries is exactly the request you want a span-per-attempt record
+        of — and the body bytes are never touched, preserving byte-identity
+        with the single-process daemon.
+        """
+        if isinstance(body, dict):
+            body = json.dumps(body).encode()
+        extra_headers = None
+        if trace is not None:
+            trace.finish()
+            self.server.traces.add(trace)
+            if trace.duration_ms >= self.server.traces.slow_ms:
+                self.log_message(
+                    "slow request trace=%s %.1fms",
+                    trace.trace_id,
+                    trace.duration_ms,
+                )
+            extra_headers = {"X-Repro-Trace-Id": trace.trace_id}
+        self._send_body(status, body, extra_headers=extra_headers)
 
     def _forward_once(
         self, shard_id: int, url: str, raw: bytes, fast_headers: dict[str, str]
@@ -300,6 +416,10 @@ class ShardRouterServer(ThreadingHTTPServer):
         forward_timeout: float = 300.0,
         forward_retries: int = 3,
         retry_wait: float = 0.25,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_ms: float = 500.0,
+        trace_seed: int = 0,
     ) -> None:
         super().__init__(address, _RouterHandler)
         self.supervisor = supervisor
@@ -310,11 +430,16 @@ class ShardRouterServer(ThreadingHTTPServer):
         self.connections = _ShardConnectionPool(forward_timeout)
         # body-digest → (routing key, fast headers); see _handle_schedule.
         self.route_cache = LRUTTLCache(4096)
+        self.tracing = bool(tracing)
+        self.tracer = Tracer("router", seed=trace_seed)
+        self.traces = TraceStore(trace_capacity, slow_ms=slow_ms)
         self._stats_lock = threading.Lock()
         self._requests_total = 0
         self._routing_errors = 0
         self._per_shard: dict[int, dict[str, int]] = {}
-        self._latencies_ms: deque[float] = deque(maxlen=4096)
+        # Router-observed forward latency: bounded log-bucket histogram
+        # (the old deque grew a sample per request and aggregated wrongly).
+        self.latency = LatencyHistogram()
         self._serve_started = False
 
     # ------------------------------------------------------------------ #
@@ -327,7 +452,7 @@ class ShardRouterServer(ThreadingHTTPServer):
                 shard_id, {"requests": 0, "errors": 0}
             )
             entry["requests"] += 1
-            self._latencies_ms.append(elapsed_ms)
+            self.latency.observe(elapsed_ms)
 
     def record_route_error(self, shard_id: int | None) -> None:
         with self._stats_lock:
@@ -344,11 +469,14 @@ class ShardRouterServer(ThreadingHTTPServer):
     def aggregate_metrics(self) -> dict:
         """One ``/metrics`` view over the whole cluster.
 
-        Shape: ``cluster`` (summed counters + rolled-up cache stats +
-        router-observed latency percentiles), ``router`` (forward counts per
-        shard, routing errors), ``shards`` (full per-shard snapshots) and
-        ``imbalance`` (max-over-ideal of the per-shard request counts — 1.0
-        is a perfectly even spread).
+        Shape: ``cluster`` (summed counters + rolled-up cache stats + the
+        *exact* fleet-wide latency: shard histograms merged bucket-by-bucket,
+        so ``p50_ms``/``p99_ms`` are true cluster percentiles instead of the
+        old router-only view), ``router`` (forward counts per shard, routing
+        errors, router-observed forward latency, trace-store gauges),
+        ``shards`` (full per-shard snapshots — per-shard percentiles live
+        here) and ``imbalance`` (max-over-ideal of the per-shard request
+        counts — 1.0 is a perfectly even spread).
         """
         supervisor = self.supervisor
         snapshots = supervisor.shard_metrics()
@@ -372,6 +500,7 @@ class ShardRouterServer(ThreadingHTTPServer):
         )
         cache_totals = dict.fromkeys(cache_keys, 0)
         shards_view: dict[str, dict] = {}
+        fleet_latency = LatencyHistogram()
         for shard_id, snapshot in sorted(snapshots.items()):
             shards_view[str(shard_id)] = {
                 "url": urls.get(shard_id),
@@ -385,10 +514,14 @@ class ShardRouterServer(ThreadingHTTPServer):
             shard_cache = snapshot.get("cache", {})
             for key in cache_keys:
                 cache_totals[key] += int(shard_cache.get(key, 0))
+            # Exact merge: every shard buckets into the same pinned bounds,
+            # so summing counters yields the true fleet-wide distribution.
+            shard_histogram = snapshot.get("latency", {}).get("histogram")
+            if shard_histogram is not None:
+                fleet_latency.merge(shard_histogram)
         lookups = cache_totals["hits"] + cache_totals["misses"]
         cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
         with self._stats_lock:
-            latencies = sorted(self._latencies_ms)
             router = {
                 "requests_total": self._requests_total,
                 "routing_errors": self._routing_errors,
@@ -400,15 +533,16 @@ class ShardRouterServer(ThreadingHTTPServer):
                     str(sid): dict(entry)
                     for sid, entry in sorted(self._per_shard.items())
                 },
+                "latency": self.latency.summary(),
+                "traces": {
+                    "stored": len(self.traces),
+                    "capacity": self.traces.capacity,
+                    "slow_total": self.traces.slow_total,
+                    "slow_ms": self.traces.slow_ms,
+                    "enabled": self.tracing,
+                },
             }
-        if latencies:
-            latency = {
-                "count": len(latencies),
-                "p50_ms": float(np.percentile(latencies, 50)),
-                "p99_ms": float(np.percentile(latencies, 99)),
-            }
-        else:
-            latency = {"count": 0, "p50_ms": None, "p99_ms": None}
+        latency = fleet_latency.summary()
         forwarded = [e["requests"] for e in router["per_shard"].values()]
         total_forwarded = sum(forwarded)
         ideal = total_forwarded / supervisor.num_shards if total_forwarded else 0.0

@@ -232,6 +232,26 @@ class ClusterSupervisor:
             lambda client: client.purge(all=all), timeout=30.0
         )
 
+    def gather_trace_components(
+        self, trace_id: str, *, timeout: float = 5.0
+    ) -> list[dict]:
+        """Every shard-side component of one propagated trace id.
+
+        Best-effort fan-out: shards that never saw the id answer 404 and
+        contribute nothing, so the list usually holds exactly the owning
+        shard's component.  The router concatenates these after its own
+        component to form the stitched ``GET /trace/<id>`` document.
+        """
+        documents = self._fan_out(
+            lambda client: client.trace(trace_id), timeout=timeout
+        )
+        components: list[dict] = []
+        for shard_id in sorted(documents):
+            document = documents[shard_id]
+            if document:
+                components.extend(document.get("components", []))
+        return components
+
     # ------------------------------------------------------------------ #
     # monitor
     # ------------------------------------------------------------------ #

@@ -62,10 +62,17 @@ class ShardSpec:
     purge_interval: float | None = None
     max_pending: int = 1024
     verbose: bool = False
+    tracing: bool = True
+    trace_capacity: int = 256
+    slow_ms: float = 500.0
 
-    def build_service(self) -> SchedulerService:
+    def build_service(self, shard_id: int | None = None) -> SchedulerService:
         kwargs = asdict(self)
         kwargs.pop("verbose")
+        if shard_id is not None:
+            # Component label of every trace this shard records — the
+            # stitched /trace/<id> document tells shards apart by it.
+            kwargs["trace_component"] = f"shard-{shard_id}"
         return SchedulerService(**kwargs)
 
 
@@ -77,7 +84,7 @@ def run_shard(shard_id: int, spec: ShardSpec, conn: Connection) -> None:
     Module-level so it is picklable under every multiprocessing start
     method.
     """
-    service = spec.build_service()
+    service = spec.build_service(shard_id)
     # allow_shutdown stays False: the supervisor stops shards itself
     # (terminate / server.close), and an open /shutdown on the shard port
     # would bypass the router's shutdown gate.
@@ -190,7 +197,7 @@ class ThreadShardHandle(ShardHandle):
         self.url = ""
 
     def start(self, ready_timeout: float = 30.0) -> str:
-        service = self.spec.build_service()
+        service = self.spec.build_service(self.shard_id)
         self._server = ServiceHTTPServer(
             ("127.0.0.1", 0),
             service,

@@ -28,7 +28,6 @@ import os
 import queue
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -39,6 +38,9 @@ from ..analysis.experiments import make_pool
 from ..exceptions import ModelError, ServiceOverloadedError
 from ..lint.registry import build_info as lint_build_info
 from ..model.instance import Instance, profile_fingerprint
+from ..obs.histogram import LatencyHistogram
+from ..obs.names import SPAN_BATCH_COMPUTE, SPAN_CACHE_LOOKUP, SPAN_QUEUE_WAIT
+from ..obs.tracing import Trace, TraceStore, Tracer
 from ..registry import make_scheduler
 from ..sim.validate import simulate_and_check
 from ..workloads.generators import WORKLOAD_FAMILIES, make_workload
@@ -251,6 +253,7 @@ class _Pending:
     key: tuple
     future: Future
     enqueued: float
+    trace: Trace | None = None
 
 
 _SHUTDOWN = object()
@@ -291,6 +294,16 @@ class SchedulerService:
     autostart:
         Start the dispatcher thread immediately (tests drive
         :meth:`_handle_batch` directly with ``autostart=False``).
+    tracing:
+        Record per-request spans into the bounded trace store (default on;
+        the overhead benchmark gate measures its cost with this off).
+        Latency histograms are unconditional — they replace the old
+        unbounded latency list and cost O(1) memory.
+    trace_capacity / slow_ms / trace_seed / trace_component:
+        Ring-buffer capacity of the trace store, the slow-request-log
+        threshold in milliseconds, the seed of the deterministic trace-id
+        source, and the component label stamped on every trace this
+        service records (shard workers use ``"shard-<id>"``).
     """
 
     def __init__(
@@ -306,6 +319,11 @@ class SchedulerService:
         max_pending: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         autostart: bool = True,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_ms: float = 500.0,
+        trace_seed: int = 0,
+        trace_component: str = "service",
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -336,7 +354,12 @@ class SchedulerService:
         self._batches = 0
         self._deduped = 0
         self._fast_hits = 0
-        self._latencies_ms: deque[float] = deque(maxlen=4096)
+        # Fixed log-bucket histogram: constant memory under sustained load
+        # and exact cross-shard merging (see repro.obs.histogram).
+        self.latency = LatencyHistogram()
+        self.tracing = bool(tracing)
+        self.tracer = Tracer(trace_component, seed=trace_seed)
+        self.traces = TraceStore(trace_capacity, slow_ms=slow_ms)
         self._started = time.monotonic()
         self._closed = False
         self._dispatcher: threading.Thread | None = None
@@ -349,12 +372,16 @@ class SchedulerService:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def submit(self, request: ScheduleRequest) -> Future:
+    def submit(
+        self, request: ScheduleRequest, *, trace: Trace | None = None
+    ) -> Future:
         """Enqueue a request; returns a future resolving to the response dict.
 
         The response is the :func:`compute_response` payload plus per-request
         metadata: ``"cache_hit"`` and ``"elapsed_ms"`` (queue + compute time
-        as observed by the service).  Raises
+        as observed by the service).  A ``trace`` (usually minted by the HTTP
+        frontend) collects queue-wait / cache-lookup / batch-compute spans as
+        the request moves through the dispatcher.  Raises
         :class:`~repro.exceptions.ServiceOverloadedError` when ``max_pending``
         requests are already in flight.
         """
@@ -378,6 +405,7 @@ class SchedulerService:
             key=key,
             future=Future(),
             enqueued=time.perf_counter(),
+            trace=trace if self.tracing else None,
         )
         self._queue.put(pending)
         return pending.future
@@ -406,12 +434,17 @@ class SchedulerService:
     def note_latency(self, elapsed_ms: float) -> None:
         """Record an externally measured request latency (fast-path hits)."""
         with self._lock:
-            self._latencies_ms.append(elapsed_ms)
+            self.latency.observe(elapsed_ms)
 
     def metrics(self) -> dict:
-        """Service counters in the shape served by ``GET /metrics``."""
+        """Service counters in the shape served by ``GET /metrics``.
+
+        The ``latency`` block carries the full histogram snapshot next to
+        the headline percentiles so a router (or any aggregator) can merge
+        shard latencies *exactly* instead of taking max-of-p99s.
+        """
         with self._lock:
-            latencies = sorted(self._latencies_ms)
+            lat = self.latency.summary()
             pending = self._pending
             snapshot = {
                 "requests_total": self._requests_total,
@@ -420,19 +453,18 @@ class SchedulerService:
                 "deduped_in_batch": self._deduped,
                 "fast_hits": self._fast_hits,
             }
-        if latencies:
-            lat = {
-                "count": len(latencies),
-                "p50_ms": float(np.percentile(latencies, 50)),
-                "p99_ms": float(np.percentile(latencies, 99)),
-            }
-        else:
-            lat = {"count": 0, "p50_ms": None, "p99_ms": None}
         return {
             **snapshot,
             "queue_depth": pending,
             "cache": {**self.cache.stats.as_dict(), "size": len(self.cache)},
             "latency": lat,
+            "traces": {
+                "stored": len(self.traces),
+                "capacity": self.traces.capacity,
+                "slow_total": self.traces.slow_total,
+                "slow_ms": self.traces.slow_ms,
+                "enabled": self.tracing,
+            },
             "workers": self.workers,
             "pool": self.pool_kind,
             "uptime_seconds": time.monotonic() - self._started,
@@ -512,7 +544,22 @@ class SchedulerService:
         for item in batch:
             groups.setdefault(item.key, []).append(item)
         for key, group in groups.items():
+            probe_start = time.perf_counter()
             cached = self.cache.get(key)
+            probe_end = time.perf_counter()
+            for item in group:
+                if item.trace is not None:
+                    # Queue wait ends when the dispatcher reaches this
+                    # group; the cache probe follows immediately.
+                    item.trace.record_span(
+                        SPAN_QUEUE_WAIT, item.enqueued, probe_start
+                    )
+                    item.trace.record_span(
+                        SPAN_CACHE_LOOKUP,
+                        probe_start,
+                        probe_end,
+                        hit=cached is not MISS,
+                    )
             if cached is not MISS:
                 for item in group:
                     self._resolve(item, cached, cache_hit=True)
@@ -521,6 +568,7 @@ class SchedulerService:
                 with self._lock:
                     self._deduped += len(group) - 1
             head = group[0].request
+            submitted = time.perf_counter()
             try:
                 future = self._pool.submit(
                     compute_response,
@@ -533,10 +581,19 @@ class SchedulerService:
                 self._fail(group, exc)
                 continue
             future.add_done_callback(
-                lambda f, key=key, group=group: self._on_computed(key, group, f)
+                lambda f, key=key, group=group, submitted=submitted: (
+                    self._on_computed(key, group, f, submitted)
+                )
             )
 
-    def _on_computed(self, key: tuple, group: list[_Pending], future: Future) -> None:
+    def _on_computed(
+        self,
+        key: tuple,
+        group: list[_Pending],
+        future: Future,
+        submitted: float,
+    ) -> None:
+        computed = time.perf_counter()
         try:
             payload = future.result()
         except Exception as exc:
@@ -544,13 +601,20 @@ class SchedulerService:
             return
         self.cache.put(key, payload)
         for item in group:
+            if item.trace is not None:
+                item.trace.record_span(
+                    SPAN_BATCH_COMPUTE,
+                    submitted,
+                    computed,
+                    group_size=len(group),
+                )
             self._resolve(item, payload, cache_hit=False)
 
     def _resolve(self, item: _Pending, payload: dict, *, cache_hit: bool) -> None:
         elapsed_ms = (time.perf_counter() - item.enqueued) * 1e3
         with self._lock:
             self._pending -= 1
-            self._latencies_ms.append(elapsed_ms)
+            self.latency.observe(elapsed_ms)
         response = dict(payload)  # shallow: "result" is shared and read-only
         response["cache_hit"] = cache_hit
         response["elapsed_ms"] = elapsed_ms

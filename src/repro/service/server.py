@@ -40,8 +40,17 @@ import threading
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import ModelError, ReproError, ServiceOverloadedError
+from ..obs.names import (
+    SPAN_FAST_HIT,
+    SPAN_FINGERPRINT,
+    SPAN_PARSE,
+    SPAN_SERIALIZE,
+)
+from ..obs.prometheus import render_service_metrics
+from ..obs.tracing import Trace
 from .cache import MISS
 from .core import SchedulerService, request_from_payload
 
@@ -76,10 +85,20 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_body(self, status: int, body: bytes) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         if self.close_connection:
             # An unconsumed request body would desynchronise a keep-alive
             # connection (its bytes would be parsed as the next request
@@ -88,8 +107,28 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send_body(status, json.dumps(payload).encode())
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        *,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode(), extra_headers=extra_headers
+        )
+
+    def _send_prometheus(self, text: str) -> None:
+        self._send_body(
+            200,
+            text.encode(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    @staticmethod
+    def _query_param(query: str, name: str) -> str | None:
+        values = parse_qs(query).get(name)
+        return values[0] if values else None
 
     def _checked_content_length(self) -> int | None:
         """Content-Length, or ``None`` after rejecting an oversized body."""
@@ -138,7 +177,8 @@ class _Handler(JsonRequestHandler):
     # routes
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-        if self.path == "/healthz":
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
             self._send_json(
                 200,
                 {
@@ -146,10 +186,52 @@ class _Handler(JsonRequestHandler):
                     "uptime_seconds": time.monotonic() - self.server.started,
                 },
             )
-        elif self.path == "/metrics":
-            self._send_json(200, self.server.service.metrics())
+        elif url.path == "/metrics":
+            metrics = self.server.service.metrics()
+            if self._query_param(url.query, "format") == "prometheus":
+                self._send_prometheus(render_service_metrics(metrics))
+            else:
+                self._send_json(200, metrics)
+        elif url.path.startswith("/trace/"):
+            self._handle_trace(url.path[len("/trace/") :])
+        elif url.path == "/traces":
+            self._handle_traces(url.query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_trace(self, trace_id: str) -> None:
+        """One stitched trace document: ``{"trace_id", "components": [...]}``.
+
+        A single daemon/shard contributes exactly one component; the
+        cluster router overrides this route to concatenate its own
+        component with every shard's before responding.
+        """
+        trace = self.server.service.traces.get(trace_id)
+        if trace is None:
+            self._send_json(404, {"error": f"unknown trace {trace_id!r}"})
+            return
+        self._send_json(
+            200, {"trace_id": trace_id, "components": [trace.as_dict()]}
+        )
+
+    def _handle_traces(self, query: str) -> None:
+        """Newest-first trace summaries; ``?slow_ms=N`` filters by duration."""
+        store = self.server.service.traces
+        slow_param = self._query_param(query, "slow_ms")
+        try:
+            slow_ms = float(slow_param) if slow_param is not None else None
+        except ValueError:
+            self._send_json(400, {"error": f"bad slow_ms {slow_param!r}"})
+            return
+        self._send_json(
+            200,
+            {
+                "traces": store.summaries(slow_ms=slow_ms),
+                "slow_log": store.slow_log(),
+                "slow_total": store.slow_total,
+                "slow_ms": store.slow_ms,
+            },
+        )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
         if self.path == "/schedule":
@@ -163,7 +245,7 @@ class _Handler(JsonRequestHandler):
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
-    def _try_fast_hit(self) -> bool:
+    def _try_fast_hit(self, trace: Trace | None) -> bool:
         """Serve a cache hit keyed by trusted router headers; True if served.
 
         Only active with ``trust_fast_headers`` (shard workers behind the
@@ -199,16 +281,57 @@ class _Handler(JsonRequestHandler):
         response = dict(payload)  # shallow: "result" is shared and read-only
         response["cache_hit"] = True
         response["elapsed_ms"] = elapsed_ms
-        self._send_json(200, response)
+        if trace is not None:
+            trace.record_span(SPAN_FAST_HIT, start, time.perf_counter())
+        self._finish_schedule(response, trace)
         return True
 
+    def _finish_schedule(self, response: dict, trace: Trace | None) -> None:
+        """Serialize (under a span), land the trace, send the response.
+
+        The trace is stored *before* the bytes hit the wire so a client can
+        turn around and ``GET /trace/<id>`` the id it reads from the
+        ``X-Repro-Trace-Id`` response header immediately.  The body itself
+        never carries the id — ``/schedule`` responses stay byte-identical
+        to the untraced single-daemon output.
+        """
+        if trace is None:
+            self._send_json(200, response)
+            return
+        start = time.perf_counter()
+        body = json.dumps(response).encode()
+        trace.record_span(SPAN_SERIALIZE, start, time.perf_counter())
+        trace.finish()
+        service = self.server.service
+        service.traces.add(trace)
+        if trace.duration_ms >= service.traces.slow_ms:
+            self.log_message(
+                "slow request trace=%s %.1fms", trace.trace_id, trace.duration_ms
+            )
+        self._send_body(
+            200, body, extra_headers={"X-Repro-Trace-Id": trace.trace_id}
+        )
+
     def _handle_schedule(self) -> None:
+        service = self.server.service
+        trace: Trace | None = None
+        if service.tracing:
+            # Adopt a propagated id (router→shard hop) or mint a fresh one.
+            trace = service.tracer.start(self.headers.get("X-Repro-Trace-Id"))
         try:
-            if self._try_fast_hit():
+            if self._try_fast_hit(trace):
                 return
-            request = request_from_payload(self._read_json())
-            response = self.server.service.schedule(
-                request, timeout=self.server.request_timeout
+            if trace is not None:
+                start = time.perf_counter()
+                payload = self._read_json()
+                parsed = time.perf_counter()
+                trace.record_span(SPAN_PARSE, start, parsed)
+                request = request_from_payload(payload)
+                trace.record_span(SPAN_FINGERPRINT, parsed, time.perf_counter())
+            else:
+                request = request_from_payload(self._read_json())
+            response = service.submit(request, trace=trace).result(
+                timeout=self.server.request_timeout
             )
         except ModelError as exc:
             self._send_json(400, {"error": str(exc)})
@@ -225,7 +348,7 @@ class _Handler(JsonRequestHandler):
             # back as the documented 500 instead of a reset socket.
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
         else:
-            self._send_json(200, response)
+            self._finish_schedule(response, trace)
 
     def _handle_replay(self) -> None:
         """Online replay: epoch-reschedule an arrival trace, stream the metrics.

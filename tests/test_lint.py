@@ -29,7 +29,7 @@ from repro.lint import (
     ruleset_hash,
 )
 
-ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
 
 
 def lint_files(tmp_path: Path, files: dict[str, str], *, rules=None, baseline=None):
@@ -375,6 +375,98 @@ class TestRL006:
         """
         result = lint_files(tmp_path, self.files(kerns=kerns), rules=["RL006"])
         assert any("'replay'" in f.message for f in result.new)
+
+
+# ---------------------------------------------------------------------- #
+# RL007 observability name registry
+# ---------------------------------------------------------------------- #
+class TestRL007:
+    NAMES = """
+        SPAN_PARSE = "parse"
+        SPAN_ROUTE = "route"
+        SPAN_NAMES = frozenset({SPAN_PARSE, SPAN_ROUTE})
+
+        METRIC_REQUESTS_TOTAL = "repro_requests_total"
+        METRICS = {
+            METRIC_REQUESTS_TOTAL: ("counter", "Requests"),
+            "repro_queue_depth": ("gauge", "Queue depth"),
+        }
+    """
+
+    def files(self, caller: str) -> dict[str, str]:
+        return {"obs/names.py": self.NAMES, "service/caller.py": caller}
+
+    def test_registered_constant_span_is_clean(self, tmp_path):
+        caller = """
+            from ..obs.names import SPAN_PARSE
+
+            def handle(trace, t0, t1):
+                trace.record_span(SPAN_PARSE, t0, t1)
+                with trace.span(SPAN_PARSE):
+                    pass
+        """
+        result = lint_files(tmp_path, self.files(caller), rules=["RL007"])
+        assert result.new == []
+
+    def test_string_literal_span_name_fires(self, tmp_path):
+        caller = """
+            def handle(trace, t0, t1):
+                trace.record_span("parse", t0, t1)
+        """
+        result = lint_files(tmp_path, self.files(caller), rules=["RL007"])
+        assert len(result.new) == 1
+        assert "string literal" in result.new[0].message
+
+    def test_unregistered_span_constant_fires(self, tmp_path):
+        caller = """
+            SPAN_BOGUS = "bogus"
+
+            def handle(trace):
+                with trace.span(SPAN_BOGUS):
+                    pass
+        """
+        result = lint_files(tmp_path, self.files(caller), rules=["RL007"])
+        assert len(result.new) == 1
+        assert "SPAN_BOGUS" in result.new[0].message
+
+    def test_non_span_identifier_fires(self, tmp_path):
+        caller = """
+            def handle(trace, name):
+                trace.record_span(name, 0.0, 1.0)
+        """
+        # Even a bare variable must be a SPAN_* registry constant: wrappers
+        # forwarding validated names suppress the line explicitly.
+        result = lint_files(tmp_path, self.files(caller), rules=["RL007"])
+        assert len(result.new) == 1
+        assert "'name'" in result.new[0].message
+
+    def test_undeclared_metric_literal_fires(self, tmp_path):
+        caller = """
+            def emit(sink):
+                sink.sample("repro_surprise_total", 1)
+        """
+        result = lint_files(tmp_path, self.files(caller), rules=["RL007"])
+        assert len(result.new) == 1
+        assert result.new[0].symbol == "repro_surprise_total"
+
+    def test_declared_metric_literal_is_clean(self, tmp_path):
+        caller = """
+            def emit(sink):
+                sink.sample("repro_requests_total", 1)
+                sink.sample("repro_queue_depth", 3)
+        """
+        result = lint_files(tmp_path, self.files(caller), rules=["RL007"])
+        assert result.new == []
+
+    def test_without_names_module_rule_is_silent(self, tmp_path):
+        caller = """
+            def handle(trace, t0, t1):
+                trace.record_span("anything", t0, t1)
+        """
+        result = lint_files(
+            tmp_path, {"service/caller.py": caller}, rules=["RL007"]
+        )
+        assert result.new == []
 
 
 # ---------------------------------------------------------------------- #
