@@ -212,6 +212,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="backpressure bound on in-flight requests (503 beyond it)",
     )
     srv.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="metric time-series sampling cadence in seconds "
+        "(0 disables sampling; history then stays empty)",
+    )
+    srv.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=500.0,
+        help="p99 latency objective (ms) for the SLO burn-rate engine "
+        "and /healthz health states",
+    )
+    srv.add_argument(
         "--allow-shutdown",
         action="store_true",
         help="enable POST /shutdown (tests, CI smoke jobs)",
@@ -397,6 +411,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shards > 1:
         return _cmd_serve_cluster(args)
     # Single-process daemon: --shards 1 degrades to exactly this path.
+    from .obs.slo import SLO
     from .service import SchedulerService, make_server
 
     service = SchedulerService(
@@ -408,6 +423,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl=args.cache_ttl,
         purge_interval=args.purge_interval,
         max_pending=args.max_pending,
+        sample_interval=args.sample_interval or None,
+        slo=SLO(p99_ms=args.slo_p99_ms),
     )
     server = make_server(
         args.host,
@@ -451,11 +468,14 @@ def _shard_spec_from_args(args: argparse.Namespace):
         purge_interval=args.purge_interval,
         max_pending=args.max_pending,
         verbose=args.verbose,
+        sample_interval=args.sample_interval or None,
+        slo_p99_ms=args.slo_p99_ms,
     )
 
 
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     """Run the sharded cluster: N shard workers behind the consistent-hash router."""
+    from .obs.slo import SLO
     from .service.cluster import ClusterSupervisor, ShardRouterServer
 
     supervisor = ClusterSupervisor(
@@ -470,6 +490,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
             supervisor,
             allow_shutdown=args.allow_shutdown,
             verbose=args.verbose,
+            slo=SLO(p99_ms=args.slo_p99_ms),
         )
     except Exception:
         supervisor.close()
@@ -555,6 +576,24 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         f"responses consistent: {report['consistent']}   "
         f"503 retries absorbed: {report['retries_total']}"
     )
+    slo = report.get("slo")
+    if slo:
+        fast = slo["windows"]["fast"]
+        print(
+            f"SLO (p99<={slo['objective']['p99_ms']:g}ms, "
+            f"avail>={slo['objective']['availability']:g}): "
+            f"{'COMPLIANT' if slo['compliant'] else 'BREACHED'}  "
+            f"fast burn={slo['fast_burn']:.2f}x  "
+            f"slow burn={slo['slow_burn']:.2f}x  "
+            f"over-target={fast['fraction_over_target']:.2%}"
+        )
+        health = report.get("health") or {}
+        if health:
+            codes = ",".join(r["code"] for r in health["reasons"]) or "-"
+            print(
+                f"health: {health['state']}  reasons: {codes}  "
+                f"scale_hint: {health['scale_hint']['direction']}"
+            )
     build = report.get("server_metrics", {}).get("build")
     if build:
         print(

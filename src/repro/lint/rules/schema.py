@@ -48,6 +48,16 @@ SCHEMAS: dict[str, frozenset[str]] = {
     "obs/tracing.py::Trace.as_dict": frozenset(
         {"trace_id", "component", "started_at", "duration_ms", "spans"}
     ),
+    "obs/timeseries.py::MetricSample.as_dict": frozenset(
+        {"t", "gauges", "counters", "latency"}
+    ),
+    "obs/timeseries.py::WindowDelta.as_dict": frozenset(
+        {"duration_s", "samples", "counters", "gauges", "latency"}
+    ),
+    "obs/slo.py::SLO.as_dict": frozenset(
+        {"p99_ms", "availability", "fast_window_s", "slow_window_s",
+         "fast_burn_threshold", "slow_burn_threshold"}
+    ),
     "service/cache.py::CacheStats.as_dict": frozenset(
         {"hits", "misses", "evictions_lru", "evictions_ttl", "expired_purged", "hit_rate"}
     ),

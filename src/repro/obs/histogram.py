@@ -120,6 +120,36 @@ class LatencyHistogram:
             cumulative += n
         return float(self.max_ms)  # pragma: no cover - defensive
 
+    def fraction_over(self, threshold_ms: float) -> float:
+        """Estimated fraction of observations above ``threshold_ms``.
+
+        The SLO burn-rate engine's primitive: with a p99 objective the
+        error budget is the fraction of requests allowed over the target,
+        and this is the observed spend.  Counts whole buckets above the
+        threshold exactly and splits the covering bucket linearly, so the
+        estimate is within one bucket's population of the truth.
+        """
+        if self.count == 0:
+            return 0.0
+        threshold_ms = max(0.0, float(threshold_ms))
+        idx = self._bucket_index(threshold_ms)
+        below = sum(self.counts[:idx])
+        covering = self.counts[idx]
+        if covering:
+            lower = BOUNDS_MS[idx - 1] if idx > 0 else 0.0
+            upper = (
+                BOUNDS_MS[idx]
+                if idx < len(BOUNDS_MS)
+                else max(self.max_ms, lower)
+            )
+            if upper > lower:
+                fraction = (threshold_ms - lower) / (upper - lower)
+                below += covering * max(0.0, min(1.0, fraction))
+            else:
+                below += covering
+        over = self.count - below
+        return float(max(0.0, min(1.0, over / self.count)))
+
     @property
     def mean_ms(self) -> float:
         return self.sum_ms / self.count if self.count else 0.0

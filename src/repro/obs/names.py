@@ -84,6 +84,11 @@ METRIC_SLOW_REQUESTS_TOTAL = "repro_slow_requests_total"
 METRIC_FORWARDS_TOTAL = "repro_forwards_total"
 METRIC_ROUTE_ERRORS_TOTAL = "repro_route_errors_total"
 METRIC_SHARDS = "repro_shards"
+METRIC_HEALTH_STATE = "repro_health_state"
+METRIC_SLO_FAST_BURN = "repro_slo_fast_burn_rate"
+METRIC_SLO_SLOW_BURN = "repro_slo_slow_burn_rate"
+METRIC_SCALE_HINT = "repro_scale_hint"
+METRIC_HISTORY_SAMPLES = "repro_history_samples"
 
 #: name -> (prometheus type, help text).  The exposition renderer iterates
 #: this mapping, so a family that is not declared here cannot be emitted.
@@ -116,6 +121,26 @@ METRICS: dict[str, tuple[str, str]] = {
         "Router forwards that exhausted every retry",
     ),
     METRIC_SHARDS: ("gauge", "Shards the router currently fans out to"),
+    METRIC_HEALTH_STATE: (
+        "gauge",
+        "Health state (0=ok, 1=degraded, 2=failing)",
+    ),
+    METRIC_SLO_FAST_BURN: (
+        "gauge",
+        "Worst-objective SLO burn rate over the fast window",
+    ),
+    METRIC_SLO_SLOW_BURN: (
+        "gauge",
+        "Worst-objective SLO burn rate over the slow window",
+    ),
+    METRIC_SCALE_HINT: (
+        "gauge",
+        "Autoscaling hint (-1=shrink, 0=hold, 1=grow)",
+    ),
+    METRIC_HISTORY_SAMPLES: (
+        "gauge",
+        "Samples resident in the metric history ring",
+    ),
 }
 
 #: Every metric family name the exposition may emit.

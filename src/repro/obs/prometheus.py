@@ -102,6 +102,39 @@ def _core_samples(
         exp.histogram(names.METRIC_LATENCY_MS, histogram, labels)
 
 
+#: health-state string -> gauge value, pinned by ``health.HEALTH_STATES``.
+_STATE_VALUES = {"ok": 0, "degraded": 1, "failing": 2}
+_HINT_VALUES = {"shrink": -1, "hold": 0, "grow": 1}
+
+
+def _signal_samples(
+    exp: _Exposition, metrics: dict, labels: dict | None = None
+) -> None:
+    """SLO / health / history gauges, when the document carries them."""
+    health = metrics.get("health")
+    if isinstance(health, dict):
+        exp.sample(
+            names.METRIC_HEALTH_STATE,
+            _STATE_VALUES.get(health.get("state"), 0),
+            labels,
+        )
+        hint = health.get("scale_hint") or {}
+        exp.sample(
+            names.METRIC_SCALE_HINT,
+            _HINT_VALUES.get(hint.get("direction"), 0),
+            labels,
+        )
+    slo = metrics.get("slo")
+    if isinstance(slo, dict):
+        exp.sample(names.METRIC_SLO_FAST_BURN, slo["fast_burn"], labels)
+        exp.sample(names.METRIC_SLO_SLOW_BURN, slo["slow_burn"], labels)
+    history = metrics.get("history")
+    if isinstance(history, dict):
+        exp.sample(
+            names.METRIC_HISTORY_SAMPLES, history["samples"], labels
+        )
+
+
 def _trace_samples(
     exp: _Exposition, metrics: dict, labels: dict | None = None
 ) -> None:
@@ -117,6 +150,7 @@ def render_service_metrics(metrics: dict) -> str:
     exp = _Exposition()
     _core_samples(exp, metrics)
     _trace_samples(exp, metrics)
+    _signal_samples(exp, metrics)
     exp.sample(names.METRIC_UPTIME_SECONDS, metrics["uptime_seconds"])
     return exp.render()
 
@@ -136,6 +170,7 @@ def render_cluster_metrics(metrics: dict) -> str:
     exp.sample(names.METRIC_ROUTE_ERRORS_TOTAL, router["routing_errors"])
     exp.sample(names.METRIC_SHARDS, cluster["shards"])
     _trace_samples(exp, router)
+    _signal_samples(exp, metrics)
     exp.sample(names.METRIC_UPTIME_SECONDS, cluster["uptime_seconds"])
     for shard_id, entry in sorted(metrics.get("shards", {}).items()):
         snapshot = entry.get("metrics") if isinstance(entry, dict) else None
@@ -144,4 +179,5 @@ def render_cluster_metrics(metrics: dict) -> str:
         labels = {"shard": str(shard_id)}
         _core_samples(exp, snapshot, labels)
         _trace_samples(exp, snapshot, labels)
+        _signal_samples(exp, snapshot, labels)
     return exp.render()

@@ -1,0 +1,130 @@
+"""SLO definitions evaluated as multi-window burn rates.
+
+An :class:`SLO` pins two objectives for the serving stack:
+
+* **latency** — at most 1% of requests in a window may exceed
+  ``p99_ms`` (that is what "p99 target" means as an objective);
+* **availability** — at least ``availability`` of the offered requests
+  must be admitted (``1 - rejections/offered``; the service's only
+  self-inflicted errors are admission rejections under backpressure).
+
+Each objective's **burn rate** is its observed error rate divided by the
+budgeted error rate: burn 1.0 consumes the budget exactly as fast as
+allowed, burn 10 consumes it ten times too fast.  Following the
+multi-window alerting pattern, every objective is evaluated over a
+*fast* window (~1 min: is it burning **now**?) and a *slow* window
+(~10 min: has it been burning **persistently**?) — a fast-only spike
+recovers on its own within a fast window; fast+slow together means the
+budget is genuinely draining.
+
+Evaluation consumes :class:`~repro.obs.timeseries.WindowDelta` objects,
+which merge exactly across shards (sum counters, sum histogram
+buckets), so the router's cluster-wide burn rates are computed from the
+true fleet distribution via ``LatencyHistogram.merge`` — never from
+per-shard percentile roll-ups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timeseries import WindowDelta
+
+__all__ = ["SLO", "evaluate_slo", "window_status"]
+
+#: Fraction of requests the p99 objective lets exceed the target.
+P99_BUDGET = 0.01
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective set, evaluated over two windows.
+
+    ``fast_burn_threshold`` / ``slow_burn_threshold`` are the burn-rate
+    multiples at which the corresponding window counts as breached: the
+    fast threshold is high (only a sharp, current burn trips it), the
+    slow threshold low (any sustained overconsumption trips it).
+    """
+
+    p99_ms: float = 500.0
+    availability: float = 0.999
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    fast_burn_threshold: float = 10.0
+    slow_burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.p99_ms <= 0:
+            raise ValueError("p99_ms must be positive")
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError("availability must be in (0, 1)")
+        if self.fast_window_s <= 0 or self.slow_window_s < self.fast_window_s:
+            raise ValueError(
+                "windows must satisfy 0 < fast_window_s <= slow_window_s"
+            )
+        if self.fast_burn_threshold <= 0 or self.slow_burn_threshold <= 0:
+            raise ValueError("burn thresholds must be positive")
+
+    def as_dict(self) -> dict:
+        return {
+            "p99_ms": self.p99_ms,
+            "availability": self.availability,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "fast_burn_threshold": self.fast_burn_threshold,
+            "slow_burn_threshold": self.slow_burn_threshold,
+        }
+
+
+def window_status(slo: SLO, delta: WindowDelta) -> dict:
+    """Evaluate one window delta against the objectives.
+
+    ``burn`` is the worst objective's burn rate.  An empty window (no
+    requests observed) burns nothing — idleness never breaches an SLO.
+    The raw ``delta`` rides along so aggregators (the cluster router)
+    can merge windows across shards exactly before re-evaluating.
+    """
+    admitted = delta.counter("requests_total")
+    rejections = delta.counter("rejections")
+    offered = admitted + rejections
+    fraction_over = (
+        delta.latency.fraction_over(slo.p99_ms) if delta.latency.count else 0.0
+    )
+    latency_burn = fraction_over / P99_BUDGET
+    availability_budget = 1.0 - slo.availability
+    error_rate = rejections / offered if offered else 0.0
+    availability_burn = error_rate / availability_budget
+    return {
+        "duration_s": delta.duration_s,
+        "requests": admitted,
+        "rejections": rejections,
+        "p99_ms": delta.latency.percentile(99.0),
+        "fraction_over_target": fraction_over,
+        "latency_burn": latency_burn,
+        "availability": 1.0 - error_rate,
+        "availability_burn": availability_burn,
+        "burn": max(latency_burn, availability_burn),
+        "delta": delta.as_dict(),
+    }
+
+
+def evaluate_slo(slo: SLO, fast: WindowDelta, slow: WindowDelta) -> dict:
+    """The ``slo`` block of a ``/metrics`` document.
+
+    ``fast_breach`` / ``slow_breach`` compare each window's worst burn
+    against its threshold; ``compliant`` is the headline bit (no window
+    breached).  The health state machine consumes exactly this shape.
+    """
+    fast_status = window_status(slo, fast)
+    slow_status = window_status(slo, slow)
+    fast_breach = fast_status["burn"] >= slo.fast_burn_threshold
+    slow_breach = slow_status["burn"] >= slo.slow_burn_threshold
+    return {
+        "objective": slo.as_dict(),
+        "windows": {"fast": fast_status, "slow": slow_status},
+        "fast_burn": fast_status["burn"],
+        "slow_burn": slow_status["burn"],
+        "fast_breach": fast_breach,
+        "slow_breach": slow_breach,
+        "compliant": not (fast_breach or slow_breach),
+    }

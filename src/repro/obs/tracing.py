@@ -85,16 +85,28 @@ class Trace:
         "started_at",
         "duration_ms",
         "_t0",
+        "_clock",
         "_spans",
         "_lock",
     )
 
-    def __init__(self, trace_id: str, component: str) -> None:
+    def __init__(
+        self,
+        trace_id: str,
+        component: str,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self.trace_id = trace_id
         self.component = component
+        # Wall-clock epoch for DISPLAY ONLY ("when did this happen").  All
+        # duration math — trace duration, span offsets, span durations —
+        # runs on the injectable monotonic ``clock``: wall clocks step
+        # (NTP, suspend/resume) and a stepped delta is a lie.
         self.started_at = time.time()
         self.duration_ms: float = 0.0
-        self._t0 = time.perf_counter()
+        self._clock = clock
+        self._t0 = clock()
         # None = slot reserved by an open span block, filled on exit.
         self._spans: list[tuple | None] = []
         self._lock = threading.Lock()
@@ -113,14 +125,19 @@ class Trace:
         return _SpanBlock(self, name, meta)
 
     def record_span(self, name: str, start: float, end: float, **meta) -> None:
-        """Attach an already-measured ``perf_counter`` interval (any thread)."""
+        """Attach an already-measured interval (any thread).
+
+        ``start``/``end`` must come from the same monotonic clock the trace
+        was created with (``time.perf_counter`` by default) — never from
+        ``time.time()``, whose steps would corrupt the offset math.
+        """
         if name not in SPAN_NAMES:
             raise ValueError(f"span name {name!r} is not in repro.obs.names")
         self._spans.append((name, start, end, None, meta))
 
     # ------------------------------------------------------------------ #
     def finish(self) -> "Trace":
-        self.duration_ms = (time.perf_counter() - self._t0) * 1000.0
+        self.duration_ms = (self._clock() - self._t0) * 1000.0
         return self
 
     @property
@@ -172,11 +189,11 @@ class _SpanBlock:
             self._index = len(trace._spans)
             trace._spans.append(None)  # type: ignore[arg-type]  # placeholder
         self._token = _CURRENT_SPAN.set((trace.trace_id, f"s{self._index}"))
-        self._start = time.perf_counter()
+        self._start = trace._clock()
         return self._meta
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        end = time.perf_counter()
+        end = self._trace._clock()
         _CURRENT_SPAN.reset(self._token)
         # Index assignment is atomic; only the reservation needed the lock.
         self._trace._spans[self._index] = (
@@ -187,9 +204,16 @@ class _SpanBlock:
 class Tracer:
     """Mints traces with deterministic ids from a seeded counter."""
 
-    def __init__(self, component: str, *, seed: int = 0) -> None:
+    def __init__(
+        self,
+        component: str,
+        *,
+        seed: int = 0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self.component = component
         self.seed = int(seed)
+        self.clock = clock
         self._counter = 0
         self._lock = threading.Lock()
 
@@ -202,7 +226,9 @@ class Tracer:
 
     def start(self, trace_id: str | None = None) -> Trace:
         """Begin a trace, adopting a propagated id when one is given."""
-        return Trace(trace_id or self.next_id(), self.component)
+        return Trace(
+            trace_id or self.next_id(), self.component, clock=self.clock
+        )
 
 
 class TraceStore:

@@ -205,6 +205,18 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("/metrics")
 
+    def metrics_history(
+        self, window: float | None = None, step: float | None = None
+    ) -> dict:
+        """Downsampled metric time series (``GET /metrics/history``)."""
+        params = []
+        if window is not None:
+            params.append(f"window={window}")
+        if step is not None:
+            params.append(f"step={step}")
+        suffix = "?" + "&".join(params) if params else ""
+        return self._request(f"/metrics/history{suffix}")
+
     def metrics_prometheus(self) -> str:
         """The Prometheus text exposition (``GET /metrics?format=prometheus``)."""
         return self._request_once(

@@ -24,10 +24,13 @@ bodies) are routed by a hash of their canonical JSON — deterministic, so
 replays still land on the same shard and error responses come from the same
 shard-side code path as the daemon's.
 
-Other routes: ``GET /healthz`` (fleet liveness), ``GET /metrics``
-(aggregated per-shard + router view, including hit-distribution imbalance),
-``POST /purge`` (fan the eviction message out to every shard) and the gated
-``POST /shutdown``.
+Other routes: ``GET /healthz`` (fleet liveness + the SLO-driven health
+state machine; a fully-dead fleet or ``failing`` state answers 503),
+``GET /metrics`` (aggregated per-shard + router view, including
+hit-distribution imbalance, exact cluster-wide SLO burn rates and the
+``scale_hint`` autoscaler contract), ``GET /metrics/history`` (per-shard
+time series + merged cluster windows), ``POST /purge`` (fan the eviction
+message out to every shard) and the gated ``POST /shutdown``.
 """
 
 from __future__ import annotations
@@ -45,9 +48,12 @@ from urllib.parse import urlsplit
 
 from ...exceptions import ClusterError
 from ...lint.registry import build_info as lint_build_info
+from ...obs.health import evaluate_health
 from ...obs.histogram import LatencyHistogram
 from ...obs.names import SPAN_FORWARD, SPAN_ROUTE
 from ...obs.prometheus import render_cluster_metrics
+from ...obs.slo import SLO, evaluate_slo
+from ...obs.timeseries import WindowDelta
 from ...obs.tracing import Trace, TraceStore, Tracer
 from ..cache import MISS, LRUTTLCache
 from ..core import canonical_json, payload_fingerprint
@@ -163,30 +169,94 @@ class _RouterHandler(JsonRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
         url = urlsplit(self.path)
         if url.path == "/healthz":
-            supervisor = self.server.supervisor
-            alive = supervisor.alive_count()
-            self._send_json(
-                200,
-                {
-                    "status": "ok" if alive == supervisor.num_shards else "degraded",
-                    "shards": supervisor.num_shards,
-                    "alive": alive,
-                    "backend": supervisor.backend,
-                    "uptime_seconds": supervisor.uptime_seconds,
-                },
-            )
+            self._handle_healthz()
         elif url.path == "/metrics":
             metrics = self.server.aggregate_metrics()
             if self._query_param(url.query, "format") == "prometheus":
                 self._send_prometheus(render_cluster_metrics(metrics))
             else:
                 self._send_json(200, metrics)
+        elif url.path == "/metrics/history":
+            self._handle_history(url.query)
         elif url.path.startswith("/trace/"):
             self._handle_trace(url.path[len("/trace/") :])
         elif url.path == "/traces":
             self._handle_traces(url.query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_healthz(self) -> None:
+        """Fleet health: liveness + the SLO-driven cluster state machine.
+
+        Answers 503 for a fully-dead fleet and for the ``failing`` state so
+        load balancers can key off the status code; the JSON body keeps the
+        pre-existing keys (``status``/``shards``/``alive``/``backend``/
+        ``uptime_seconds``) and adds ``reasons`` + ``scale_hint``.  Uses the
+        monitor-cached health document when fresh; recomputes when the
+        cache is stale or liveness has visibly changed under it.
+        """
+        supervisor = self.server.supervisor
+        alive = supervisor.alive_count()
+        health = supervisor.last_health(
+            max_age=supervisor.health_interval * 2.0
+        )
+        if health is None or alive < supervisor.num_shards:
+            health = self.server.cluster_health()
+        failing = alive == 0 or health["state"] == "failing"
+        self._send_json(
+            503 if failing else 200,
+            {
+                "status": health["state"],
+                "shards": supervisor.num_shards,
+                "alive": alive,
+                "backend": supervisor.backend,
+                "uptime_seconds": supervisor.uptime_seconds,
+                "reasons": health["reasons"],
+                "scale_hint": health["scale_hint"],
+            },
+        )
+
+    def _handle_history(self, query: str) -> None:
+        """Fleet time series: per-shard history docs + exact cluster SLO.
+
+        One fan-out gathers every shard's ``/metrics/history``; the
+        cluster-level SLO evaluation merges the window deltas those
+        documents already carry (no second fan-out).
+        """
+        try:
+            window = self._query_param(query, "window")
+            step = self._query_param(query, "step")
+            window_s = float(window) if window is not None else None
+            step_s = float(step) if step is not None else None
+            if window_s is not None and window_s <= 0:
+                raise ValueError("window must be positive")
+            if step_s is not None and step_s <= 0:
+                raise ValueError("step must be positive")
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad history query: {exc}"})
+            return
+        server = self.server
+        supervisor = server.supervisor
+        documents = supervisor.shard_histories(window_s, step_s)
+        slo_status = server.cluster_slo_status(documents)
+        health = evaluate_health(
+            slo_status,
+            alive=supervisor.alive_count(),
+            shards=supervisor.num_shards,
+        )
+        self._send_json(
+            200,
+            {
+                "component": "router",
+                "window_s": window_s,
+                "step_s": step_s,
+                "shards": {
+                    str(sid): doc for sid, doc in sorted(documents.items())
+                },
+                "slo": slo_status,
+                "health": health,
+            },
+        )
 
     def _handle_trace(self, trace_id: str) -> None:
         """Stitch one trace across the fleet: router + every shard component.
@@ -420,9 +490,14 @@ class ShardRouterServer(ThreadingHTTPServer):
         trace_capacity: int = 256,
         slow_ms: float = 500.0,
         trace_seed: int = 0,
+        slo: SLO | None = None,
     ) -> None:
         super().__init__(address, _RouterHandler)
         self.supervisor = supervisor
+        self.slo = slo if slo is not None else SLO()
+        # The supervisor's monitor loop drives the cluster health probe so
+        # the fleet reacts to burn rates without waiting for a scrape.
+        supervisor.health_probe = self.cluster_health
         self.allow_shutdown = allow_shutdown
         self.verbose = verbose
         self.forward_retries = int(forward_retries)
@@ -462,6 +537,55 @@ class ShardRouterServer(ThreadingHTTPServer):
                     shard_id, {"requests": 0, "errors": 0}
                 )
                 entry["errors"] += 1
+
+    # ------------------------------------------------------------------ #
+    # SLO / health
+    # ------------------------------------------------------------------ #
+    def cluster_slo_status(self, snapshots: dict[int, dict | None]) -> dict:
+        """Exact fleet-wide SLO evaluation from per-shard documents.
+
+        ``snapshots`` maps shard id to any document carrying an ``slo``
+        block (a ``/metrics`` snapshot or a ``/metrics/history`` doc).
+        Each window's shard deltas merge by summing counters and histogram
+        buckets — per-shard monotonic clocks never compare, the
+        interval-relative deltas do — so the cluster burn rates equal what
+        a single process observing all requests would compute.
+        """
+        fast_parts: list[WindowDelta] = []
+        slow_parts: list[WindowDelta] = []
+        for snapshot in snapshots.values():
+            if not isinstance(snapshot, dict):
+                continue
+            windows = (snapshot.get("slo") or {}).get("windows") or {}
+            for parts, name in ((fast_parts, "fast"), (slow_parts, "slow")):
+                delta = (windows.get(name) or {}).get("delta")
+                if delta:
+                    parts.append(WindowDelta.from_dict(delta))
+        return evaluate_slo(
+            self.slo,
+            WindowDelta.merged(fast_parts),
+            WindowDelta.merged(slow_parts),
+        )
+
+    def cluster_health(
+        self, snapshots: dict[int, dict | None] | None = None
+    ) -> dict:
+        """Evaluate (and cache on the supervisor) the fleet health document.
+
+        Installed as the supervisor's :attr:`health_probe`; also invoked by
+        ``/healthz`` on a stale cache and by :meth:`aggregate_metrics`
+        (which passes the snapshots it already fanned out for).
+        """
+        supervisor = self.supervisor
+        if snapshots is None:
+            snapshots = supervisor.shard_metrics()
+        health = evaluate_health(
+            self.cluster_slo_status(snapshots),
+            alive=supervisor.alive_count(),
+            shards=supervisor.num_shards,
+        )
+        supervisor.record_health(health)
+        return health
 
     # ------------------------------------------------------------------ #
     # aggregation
@@ -521,6 +645,13 @@ class ShardRouterServer(ThreadingHTTPServer):
                 fleet_latency.merge(shard_histogram)
         lookups = cache_totals["hits"] + cache_totals["misses"]
         cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
+        slo_status = self.cluster_slo_status(snapshots)
+        health = evaluate_health(
+            slo_status,
+            alive=supervisor.alive_count(),
+            shards=supervisor.num_shards,
+        )
+        supervisor.record_health(health)
         with self._stats_lock:
             router = {
                 "requests_total": self._requests_total,
@@ -566,6 +697,11 @@ class ShardRouterServer(ThreadingHTTPServer):
             "router": router,
             "shards": shards_view,
             "imbalance": imbalance,
+            "slo": slo_status,
+            "health": health,
+            # The autoscaler contract, surfaced at the top level so a
+            # consumer needs no knowledge of the health-block layout.
+            "scale_hint": health["scale_hint"],
             # Router-side invariant advertisement, mirroring each shard's
             # own ``build`` block inside its snapshot.
             "build": lint_build_info(),
@@ -591,6 +727,10 @@ class ShardRouterServer(ThreadingHTTPServer):
         """
         if self._serve_started:
             self.shutdown()
+        # Uninstall the health probe: the supervisor may outlive the router
+        # and must not keep fanning out on behalf of a closed frontend.
+        if self.supervisor.health_probe == self.cluster_health:
+            self.supervisor.health_probe = None
         self.server_close()
         self.connections.close_all()
 
@@ -630,6 +770,7 @@ def start_cluster(
     allow_shutdown: bool = False,
     verbose: bool = False,
     forward_timeout: float = 300.0,
+    slo: SLO | None = None,
 ) -> ClusterHandle:
     """Boot a sharded cluster and serve its router on a background thread.
 
@@ -648,6 +789,7 @@ def start_cluster(
             allow_shutdown=allow_shutdown,
             verbose=verbose,
             forward_timeout=forward_timeout,
+            slo=slo,
         )
     except Exception:
         supervisor.close()

@@ -12,7 +12,11 @@
   place (the replacement starts cold: a crash loses that shard's cache
   slice and nothing else);
 * aggregates per-shard ``/metrics`` and fans out the ``/purge`` eviction
-  message.
+  message;
+* periodically invokes the router-installed :attr:`health_probe` and
+  caches the resulting health document (:meth:`last_health`), tightening
+  its liveness poll while the fleet is not ``ok`` — the supervisor reacts
+  to the SLO burn-rate signals, not just to dead processes.
 
 The supervisor is transport-agnostic: the HTTP frontend over it lives in
 :mod:`repro.service.cluster.router`.
@@ -51,6 +55,9 @@ class ClusterSupervisor:
         lifecycle themselves).
     monitor_interval / ready_timeout:
         Liveness poll period and per-shard startup deadline (seconds).
+    health_interval:
+        How often (seconds) the monitor invokes the router-installed
+        :attr:`health_probe` (cluster-wide SLO + health evaluation).
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class ClusterSupervisor:
         respawn: bool = True,
         monitor_interval: float = 0.25,
         ready_timeout: float = 30.0,
+        health_interval: float = 1.0,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -82,6 +90,13 @@ class ClusterSupervisor:
         self._started_at: float | None = None
         self._closed = False
         self._monitor: threading.Thread | None = None
+        #: Set by the HTTP router: a zero-argument callable returning the
+        #: cluster health document ({"state", "reasons", "scale_hint"}).
+        #: The monitor loop calls it every ``health_interval`` seconds.
+        self.health_probe = None
+        self.health_interval = float(health_interval)
+        self._last_health: dict | None = None
+        self._last_health_at: float | None = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -191,6 +206,23 @@ class ClusterSupervisor:
         with self._lock:
             return self._respawns
 
+    def record_health(self, document: dict) -> None:
+        """Cache the latest cluster health document (router or monitor)."""
+        with self._lock:
+            self._last_health = document
+            self._last_health_at = time.monotonic()
+
+    def last_health(self, *, max_age: float | None = None) -> dict | None:
+        """The most recent health document, or ``None`` if absent/stale."""
+        with self._lock:
+            if self._last_health is None:
+                return None
+            if max_age is not None and (
+                time.monotonic() - self._last_health_at > max_age
+            ):
+                return None
+            return self._last_health
+
     @property
     def uptime_seconds(self) -> float:
         return 0.0 if self._started_at is None else time.monotonic() - self._started_at
@@ -226,6 +258,19 @@ class ClusterSupervisor:
         """Per-shard ``/metrics`` snapshots (``None`` for unreachable shards)."""
         return self._fan_out(lambda client: client.metrics(), timeout=timeout)
 
+    def shard_histories(
+        self,
+        window: float | None = None,
+        step: float | None = None,
+        *,
+        timeout: float = 5.0,
+    ) -> dict[int, dict | None]:
+        """Per-shard ``/metrics/history`` documents (``None`` = unreachable)."""
+        return self._fan_out(
+            lambda client: client.metrics_history(window, step),
+            timeout=timeout,
+        )
+
     def purge_all(self, *, all: bool = False) -> dict[int, dict | None]:  # noqa: A002
         """Fan the explicit eviction message out to every shard."""
         return self._fan_out(
@@ -255,11 +300,35 @@ class ClusterSupervisor:
     # ------------------------------------------------------------------ #
     # monitor
     # ------------------------------------------------------------------ #
+    def _maybe_probe_health(self, next_probe: float) -> float:
+        """Run the router-installed health probe when due; returns the next
+        due time.  Probe failures (router mid-shutdown, shards respawning)
+        leave the cached document untouched and retry next interval."""
+        probe = self.health_probe
+        now = time.monotonic()
+        if probe is None or now < next_probe:
+            return next_probe
+        try:
+            document = probe()
+        except Exception:
+            document = None
+        if document is not None:
+            self.record_health(document)
+        return now + self.health_interval
+
     def _monitor_loop(self) -> None:
+        next_probe = time.monotonic()
         while not self._is_closed():
-            time.sleep(self.monitor_interval)
+            health = self.last_health()
+            interval = self.monitor_interval
+            if health is not None and health.get("state") != "ok":
+                # An unhealthy fleet gets a tighter loop: dead shards are
+                # respawned (and the health probe re-run) sooner.
+                interval = self.monitor_interval / 4.0
+            time.sleep(interval)
             if self._is_closed():
                 return
+            next_probe = self._maybe_probe_health(next_probe)
             with self._lock:
                 dead = [
                     shard_id

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 from multiprocessing.connection import Connection
 
 from ...exceptions import ClusterError
+from ...obs.slo import SLO
 from ..core import SchedulerService
 from ..server import ServiceHTTPServer
 
@@ -65,10 +66,16 @@ class ShardSpec:
     tracing: bool = True
     trace_capacity: int = 256
     slow_ms: float = 500.0
+    sample_interval: float | None = 1.0
+    history_capacity: int = 720
+    slo_p99_ms: float = 500.0
 
     def build_service(self, shard_id: int | None = None) -> SchedulerService:
         kwargs = asdict(self)
         kwargs.pop("verbose")
+        # The SLO rides the spec as its scalar knob (an SLO dataclass would
+        # pickle fine, but one number keeps the CLI surface flat).
+        kwargs["slo"] = SLO(p99_ms=kwargs.pop("slo_p99_ms"))
         if shard_id is not None:
             # Component label of every trace this shard records — the
             # stitched /trace/<id> document tells shards apart by it.

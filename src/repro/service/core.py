@@ -38,8 +38,11 @@ from ..analysis.experiments import make_pool
 from ..exceptions import ModelError, ServiceOverloadedError
 from ..lint.registry import build_info as lint_build_info
 from ..model.instance import Instance, profile_fingerprint
+from ..obs.health import evaluate_health
 from ..obs.histogram import LatencyHistogram
 from ..obs.names import SPAN_BATCH_COMPUTE, SPAN_CACHE_LOOKUP, SPAN_QUEUE_WAIT
+from ..obs.slo import SLO, evaluate_slo
+from ..obs.timeseries import MetricRing
 from ..obs.tracing import Trace, TraceStore, Tracer
 from ..registry import make_scheduler
 from ..sim.validate import simulate_and_check
@@ -304,6 +307,16 @@ class SchedulerService:
         threshold in milliseconds, the seed of the deterministic trace-id
         source, and the component label stamped on every trace this
         service records (shard workers use ``"shard-<id>"``).
+    sample_interval / history_capacity:
+        Cadence (seconds) and ring capacity of the metric time series
+        (:class:`~repro.obs.timeseries.MetricRing`).  The dispatcher's
+        idle tick drives sampling — no extra thread.  ``sample_interval=
+        None`` disables interval sampling (tests call :meth:`sample_now`
+        instead).  The defaults retain 12 minutes of 1 Hz samples —
+        enough to cover the default slow SLO window.
+    slo:
+        The :class:`~repro.obs.slo.SLO` evaluated by :meth:`slo_status`
+        and :meth:`health` (default: the stock objectives).
     """
 
     def __init__(
@@ -324,6 +337,9 @@ class SchedulerService:
         slow_ms: float = 500.0,
         trace_seed: int = 0,
         trace_component: str = "service",
+        sample_interval: float | None = 1.0,
+        history_capacity: int = 720,
+        slo: SLO | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -360,6 +376,10 @@ class SchedulerService:
         self.tracing = bool(tracing)
         self.tracer = Tracer(trace_component, seed=trace_seed)
         self.traces = TraceStore(trace_capacity, slow_ms=slow_ms)
+        self.slo = slo if slo is not None else SLO()
+        self.history = MetricRing(
+            history_capacity, interval=sample_interval, clock=clock
+        )
         self._started = time.monotonic()
         self._closed = False
         self._dispatcher: threading.Thread | None = None
@@ -436,6 +456,67 @@ class SchedulerService:
         with self._lock:
             self.latency.observe(elapsed_ms)
 
+    # ------------------------------------------------------------------ #
+    # time series, SLO, health
+    # ------------------------------------------------------------------ #
+    def _collect_sample(self) -> tuple[dict, dict, dict]:
+        """One observation for the metric ring (gauges, counters, latency)."""
+        with self._lock:
+            gauges = {"queue_depth": float(self._pending)}
+            counters = {
+                "requests_total": self._requests_total,
+                "rejections": self._rejections,
+                "fast_hits": self._fast_hits,
+                "batches": self._batches,
+                "deduped_in_batch": self._deduped,
+            }
+            latency = self.latency.as_dict()
+        stats = self.cache.stats
+        gauges["cache_size"] = float(len(self.cache))
+        gauges["cache_hit_rate"] = float(stats.hit_rate)
+        counters["cache_hits"] = stats.hits
+        counters["cache_misses"] = stats.misses
+        return gauges, counters, latency
+
+    def _maybe_sample(self) -> None:
+        """Dispatcher idle-tick hook: sample once per ``sample_interval``."""
+        self.history.maybe_sample(self._collect_sample)
+
+    def sample_now(self) -> None:
+        """Take one sample unconditionally (tests, interval=None setups)."""
+        gauges, counters, latency = self._collect_sample()
+        self.history.record(gauges, counters, latency)
+
+    def slo_status(self) -> dict:
+        """Multi-window burn-rate evaluation of :attr:`slo` (the ``slo``
+        block of ``/metrics``); window deltas ride along for exact
+        cross-shard aggregation by the cluster router."""
+        return evaluate_slo(
+            self.slo,
+            self.history.window(self.slo.fast_window_s),
+            self.history.window(self.slo.slow_window_s),
+        )
+
+    def health(self) -> dict:
+        """Health state + reasons + ``scale_hint`` (drives ``/healthz``)."""
+        return evaluate_health(self.slo_status())
+
+    def history_document(
+        self,
+        window_s: float | None = None,
+        step_s: float | None = None,
+    ) -> dict:
+        """The ``GET /metrics/history`` response: downsampled ring view
+        plus the current SLO evaluation."""
+        if window_s is None:
+            window_s = self.slo.slow_window_s
+        if step_s is None:
+            step_s = max(self.history.interval or 1.0, window_s / 60.0)
+        doc = self.history.history(window_s, step_s)
+        doc["slo"] = self.slo_status()
+        doc["component"] = self.tracer.component
+        return doc
+
     def metrics(self) -> dict:
         """Service counters in the shape served by ``GET /metrics``.
 
@@ -467,6 +548,13 @@ class SchedulerService:
             },
             "workers": self.workers,
             "pool": self.pool_kind,
+            "slo": self.slo_status(),
+            "health": self.health(),
+            "history": {
+                "samples": len(self.history),
+                "capacity": self.history.capacity,
+                "interval_s": self.history.interval,
+            },
             "uptime_seconds": time.monotonic() - self._started,
             # Which invariant set this tree was checked against: lets a
             # deployed shard advertise its lint version + ruleset hash.
@@ -505,6 +593,7 @@ class SchedulerService:
     def _dispatch_loop(self) -> None:
         while True:
             self._maybe_purge()
+            self._maybe_sample()
             try:
                 first = self._queue.get(timeout=0.1)
             except queue.Empty:

@@ -291,6 +291,11 @@ def run_loadtest(
         "consistent": consistent,
         "retries_total": client.retries_total,
         "server_metrics": server_metrics,
+        # Server-side SLO evaluation at end of run (same shape for a
+        # daemon's /metrics and a router's aggregate): compliance next to
+        # the client-observed percentiles.
+        "slo": server_metrics.get("slo"),
+        "health": server_metrics.get("health"),
     }
     if distribution is not None:
         report["shard_distribution"] = distribution

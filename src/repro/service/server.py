@@ -10,10 +10,15 @@ bodies) exposing:
     ``"cache_hit"`` and ``"elapsed_ms"``.  Malformed input → 400; service
     backpressure → 503; internal scheduling failures → 500.
 ``GET /healthz``
-    Liveness probe: ``{"status": "ok", "uptime_seconds": ...}``.
+    SLO-driven health probe: ``{"status": "ok" | "degraded" | "failing",
+    "uptime_seconds", "reasons", "scale_hint"}``; ``failing`` answers 503.
 ``GET /metrics``
     The :meth:`SchedulerService.metrics` JSON (request counts, cache
-    hit/miss, latency percentiles, queue depth, rejections).
+    hit/miss, latency percentiles, queue depth, rejections, SLO burn
+    rates, health state).
+``GET /metrics/history``
+    Downsampled metric time series over the trailing window
+    (``?window=<seconds>&step=<seconds>``) plus the SLO evaluation.
 ``POST /purge``
     Explicit cache-eviction control message (the shared-nothing eviction
     protocol of the sharded cluster): drops expired entries now, or the whole
@@ -179,11 +184,17 @@ class _Handler(JsonRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib API)
         url = urlsplit(self.path)
         if url.path == "/healthz":
+            # Health is the SLO-driven state machine, not bare liveness:
+            # "failing" maps to 503 so load balancers eject the instance,
+            # "degraded" stays 200 (still serving) with reasons attached.
+            health = self.server.service.health()
             self._send_json(
-                200,
+                503 if health["state"] == "failing" else 200,
                 {
-                    "status": "ok",
+                    "status": health["state"],
                     "uptime_seconds": time.monotonic() - self.server.started,
+                    "reasons": health["reasons"],
+                    "scale_hint": health["scale_hint"],
                 },
             )
         elif url.path == "/metrics":
@@ -192,12 +203,32 @@ class _Handler(JsonRequestHandler):
                 self._send_prometheus(render_service_metrics(metrics))
             else:
                 self._send_json(200, metrics)
+        elif url.path == "/metrics/history":
+            self._handle_history(url.query)
         elif url.path.startswith("/trace/"):
             self._handle_trace(url.path[len("/trace/") :])
         elif url.path == "/traces":
             self._handle_traces(url.query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle_history(self, query: str) -> None:
+        """Downsampled metric time series: ``?window=<s>&step=<s>``."""
+        try:
+            window = self._query_param(query, "window")
+            step = self._query_param(query, "step")
+            window_s = float(window) if window is not None else None
+            step_s = float(step) if step is not None else None
+            if window_s is not None and window_s <= 0:
+                raise ValueError("window must be positive")
+            if step_s is not None and step_s <= 0:
+                raise ValueError("step must be positive")
+        except ValueError as exc:
+            self._send_json(400, {"error": f"bad history query: {exc}"})
+            return
+        self._send_json(
+            200, self.server.service.history_document(window_s, step_s)
+        )
 
     def _handle_trace(self, trace_id: str) -> None:
         """One stitched trace document: ``{"trace_id", "components": [...]}``.

@@ -468,6 +468,37 @@ class TestRL007:
         )
         assert result.new == []
 
+    def test_health_and_slo_families_are_registered(self):
+        # The burn-rate/health additions must go through the registry like
+        # every other family — a literal that is not in METRICS would trip
+        # RL007 at any emit site.
+        from repro.obs import names
+
+        for name in (
+            "repro_health_state",
+            "repro_slo_fast_burn_rate",
+            "repro_slo_slow_burn_rate",
+            "repro_scale_hint",
+            "repro_history_samples",
+        ):
+            assert name in names.METRICS
+            kind, help_text = names.METRICS[name]
+            assert kind in ("counter", "gauge")
+            assert help_text
+
+    def test_registered_health_family_emit_is_clean(self, tmp_path):
+        names = self.NAMES + """
+        METRIC_HEALTH_STATE = "repro_health_state"
+        METRICS[METRIC_HEALTH_STATE] = ("gauge", "Health state")
+        """
+        caller = """
+            def emit(sink):
+                sink.sample("repro_health_state", 1)
+        """
+        files = {"obs/names.py": names, "service/caller.py": caller}
+        result = lint_files(tmp_path, files, rules=["RL007"])
+        assert result.new == []
+
 
 # ---------------------------------------------------------------------- #
 # suppressions
