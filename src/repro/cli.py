@@ -171,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard worker kind (process falls back to threads in sandboxes)",
     )
     srv.add_argument(
+        "--transport",
+        default="threaded",
+        choices=["threaded", "asyncio"],
+        help="HTTP frontend of the daemon (or of the router with --shards): "
+        "thread-per-connection or a single asyncio event loop; responses "
+        "are byte-identical either way",
+    )
+    srv.add_argument(
+        "--shard-transport",
+        default="threaded",
+        choices=["threaded", "asyncio"],
+        help="HTTP frontend of each shard worker (only with --shards > 1)",
+    )
+    srv.add_argument(
         "--vnodes",
         type=int,
         default=64,
@@ -252,6 +266,12 @@ def build_parser() -> argparse.ArgumentParser:
         "single-process daemon (only without --url)",
     )
     lt.add_argument(
+        "--transport",
+        default="threaded",
+        choices=["threaded", "asyncio"],
+        help="HTTP transport of the self-hosted server (only without --url)",
+    )
+    lt.add_argument(
         "--retries",
         type=int,
         default=3,
@@ -273,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-adversarial",
         action="store_true",
         help="skip the deterministic adversarial instances in the pool",
+    )
+    lt.add_argument(
+        "--soak",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after the warm passes, hold N concurrent keep-alive connections "
+        "(high-concurrency soak phase; 0 disables)",
+    )
+    lt.add_argument(
+        "--soak-requests",
+        type=int,
+        default=20,
+        help="sequential requests fired down each soak connection",
     )
     lt.add_argument("--json", action="store_true", help="also print a BENCH JSON line")
 
@@ -430,13 +464,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.host,
         args.port,
         service,
+        transport=args.transport,
         allow_shutdown=args.allow_shutdown,
         verbose=args.verbose,
     )
     host, port = server.server_address[:2]
     print(
         f"scheduling service listening on http://{host}:{port} "
-        f"(workers={service.workers}, pool={service.pool_kind}, "
+        f"(transport={args.transport}, "
+        f"workers={service.workers}, pool={service.pool_kind}, "
         f"cache={service.cache.capacity}"
         + (f", ttl={service.cache.ttl:g}s" if service.cache.ttl else "")
         + ")",
@@ -470,13 +506,14 @@ def _shard_spec_from_args(args: argparse.Namespace):
         verbose=args.verbose,
         sample_interval=args.sample_interval or None,
         slo_p99_ms=args.slo_p99_ms,
+        transport=getattr(args, "shard_transport", "threaded"),
     )
 
 
 def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     """Run the sharded cluster: N shard workers behind the consistent-hash router."""
     from .obs.slo import SLO
-    from .service.cluster import ClusterSupervisor, ShardRouterServer
+    from .service.cluster import ClusterSupervisor, make_router
 
     supervisor = ClusterSupervisor(
         args.shards,
@@ -485,9 +522,10 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         vnodes=args.vnodes,
     ).start()
     try:
-        router = ShardRouterServer(
+        router = make_router(
             (args.host, args.port),
             supervisor,
+            transport=args.transport,
             allow_shutdown=args.allow_shutdown,
             verbose=args.verbose,
             slo=SLO(p99_ms=args.slo_p99_ms),
@@ -499,6 +537,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     print(
         f"sharded scheduling cluster listening on http://{host}:{port} "
         f"(shards={supervisor.num_shards}, backend={supervisor.backend}, "
+        f"transport={args.transport}, "
         f"vnodes={supervisor.ring.vnodes}, "
         f"cache={args.cache_capacity}x{supervisor.num_shards}"
         + (f", ttl={args.cache_ttl:g}s" if args.cache_ttl else "")
@@ -528,17 +567,22 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     base_url = args.url
     if base_url is None:
         if args.shards > 1:
-            cluster = start_cluster(args.shards, allow_shutdown=True)
+            cluster = start_cluster(
+                args.shards, allow_shutdown=True, transport=args.transport
+            )
             base_url = cluster.url
             print(
                 f"self-hosted {args.shards}-shard cluster on {base_url} "
-                f"(backend={cluster.supervisor.backend})"
+                f"(backend={cluster.supervisor.backend}, "
+                f"transport={args.transport})"
             )
         else:
-            server, _ = start_background_server(allow_shutdown=True)
+            server, _ = start_background_server(
+                allow_shutdown=True, transport=args.transport
+            )
             host, port = server.server_address[:2]
             base_url = f"http://{host}:{port}"
-            print(f"self-hosted service on {base_url}")
+            print(f"self-hosted service on {base_url} (transport={args.transport})")
     try:
         report = run_loadtest(
             base_url,
@@ -553,6 +597,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             validate=args.validate,
             include_adversarial=not args.no_adversarial,
             retries=args.retries,
+            soak_connections=args.soak,
+            soak_requests=args.soak_requests,
         )
     finally:
         if server is not None:
@@ -570,6 +616,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             f"{phase['seconds']:7.2f}s  {phase['rps']:8.1f} req/s  "
             f"p50={phase['p50_ms']:7.2f}ms  p99={phase['p99_ms']:7.2f}ms  "
             f"hits={phase['cache_hits']}  errors={phase['errors']}"
+        )
+    soak = report.get("soak")
+    if soak:
+        print(
+            f"soak  {soak['requests']:5d} requests in {soak['seconds']:7.2f}s  "
+            f"{soak['rps']:8.1f} req/s  over {soak['connections']} "
+            f"keep-alive connections  503-rejected={soak['rejected']}  "
+            f"errors={soak['errors']}"
         )
     print(
         f"warm/cold throughput speedup: {report['speedup']:.1f}x   "
@@ -616,7 +670,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"shard imbalance (max/ideal requests): {ratio:.2f}x")
     if args.json:
         print("BENCH " + json.dumps(report, sort_keys=True))
-    return 0 if report["consistent"] and cold["errors"] == 0 and warm["errors"] == 0 else 1
+    clean = report["consistent"] and cold["errors"] == 0 and warm["errors"] == 0
+    if soak:
+        clean = clean and soak["errors"] == 0
+    return 0 if clean else 1
 
 
 def main(argv: list[str] | None = None) -> int:

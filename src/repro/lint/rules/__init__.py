@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from . import (  # noqa: F401 - imported for the registration side effect
     determinism,
+    error_mapper,
     float_equality,
     http_errors,
     obs_conformance,
@@ -14,6 +15,7 @@ from . import (  # noqa: F401 - imported for the registration side effect
 
 __all__ = [
     "determinism",
+    "error_mapper",
     "float_equality",
     "http_errors",
     "obs_conformance",

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import ast
 
-__all__ = ["ScopedVisitor", "dict_string_keys", "dotted_name", "words_of"]
+__all__ = [
+    "ScopedVisitor",
+    "caught_names",
+    "dict_string_keys",
+    "dotted_name",
+    "response_statuses",
+    "words_of",
+]
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -42,6 +49,56 @@ def dict_string_keys(node: ast.AST) -> set[str]:
             if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
                 keys.add(sl.value)
     return keys
+
+
+def caught_names(handler: ast.ExceptHandler) -> set[str]:
+    """The unqualified exception names an ``except`` clause catches.
+
+    A bare ``except:`` reports ``{"BaseException"}``; tuples contribute
+    every member; dotted references keep only the final segment
+    (``exceptions.ModelError`` -> ``ModelError``).
+    """
+    node = handler.type
+    if node is None:
+        return {"BaseException"}
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for expr in exprs:
+        chain = dotted_name(expr)
+        if chain is not None:
+            names.add(chain.rsplit(".", 1)[-1])
+    return names
+
+
+#: Call targets that take an HTTP status as their first argument: the legacy
+#: ``self._send_json(status, payload)`` handler helper and the transport-split
+#: ``Response(status, ...)`` / ``Response.json(status, ...)`` constructors.
+_STATUS_CALLS = ("_send_json", "Response", "Response.json")
+
+
+def response_statuses(node: ast.AST) -> set[int]:
+    """Every int-constant HTTP status a response-building call sends in ``node``.
+
+    Only literal statuses count: a status that arrives as a variable (e.g.
+    the shared error mapper's return value being re-wrapped) is not an
+    inline policy decision.
+    """
+    statuses: set[int] = set()
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        chain = dotted_name(child.func)
+        if chain is None:
+            continue
+        if not any(chain == c or chain.endswith("." + c) for c in _STATUS_CALLS):
+            continue
+        exprs = list(child.args[:1]) + [
+            kw.value for kw in child.keywords if kw.arg == "status"
+        ]
+        for expr in exprs:
+            if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+                statuses.add(expr.value)
+    return statuses
 
 
 class ScopedVisitor(ast.NodeVisitor):

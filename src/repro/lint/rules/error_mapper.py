@@ -1,0 +1,90 @@
+"""RL008: exception→status policy belongs in the shared HTTP error mapper.
+
+The transport/app split centralises the wire contract for failures in
+``repro.service.http.errors.map_exception`` — ``ModelError`` → 400,
+``ServiceOverloadedError`` → 503, timeouts → 504, fallback 500 — so the
+daemon and the router can never drift apart on what a malformed instance or
+an overloaded queue looks like to a client.  This rule flags any
+except-handler elsewhere in the service layer that catches one of those
+domain exceptions (or a broad ``Exception``/``BaseException``) and
+hand-builds a constant-status response instead of deferring to the mapper.
+
+Deliberately out of scope: routing-availability errors (``ClusterError``,
+``OSError`` on a forwarding socket) — the router's "shard unavailable" 503s
+are transport policy, not exception→status mapping, and stay where the
+retry loop lives.  The mapper module itself is exempt; it is the one place
+allowed to spell the numbers out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import rule
+from ._common import ScopedVisitor, caught_names, response_statuses
+
+#: Exceptions whose HTTP status is the shared mapper's decision.
+_MAPPED = frozenset(
+    {
+        "ModelError",
+        "ServiceOverloadedError",
+        "ReproError",
+        "TimeoutError",
+        "FuturesTimeoutError",
+        "Exception",
+        "BaseException",
+    }
+)
+
+#: The one module allowed to map these exceptions to literal statuses.
+_MAPPER_MODULE = "http/errors.py"
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        self.findings: list[Finding] = []
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            mapped = caught_names(handler) & _MAPPED
+            statuses = response_statuses(handler)
+            if mapped and statuses:
+                self.findings.append(
+                    Finding(
+                        path=self.path,
+                        line=handler.lineno,
+                        col=handler.col_offset,
+                        rule="RL008",
+                        symbol=self.symbol,
+                        message=(
+                            f"handler catching {', '.join(sorted(mapped))} "
+                            f"builds a constant-status response "
+                            f"({', '.join(str(s) for s in sorted(statuses))}) "
+                            f"inline; route it through "
+                            f"repro.service.http.errors.map_exception"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+
+@rule(
+    "RL008",
+    "exception→status mapping outside the shared HTTP error mapper",
+    rationale=(
+        "one mapper keeps daemon and router byte-identical on failure "
+        "responses; inline status literals drift"
+    ),
+    version=1,
+    scope=("service/",),
+)
+def check_error_mapper_centralised(module, project) -> Iterator[Finding]:
+    if module.path.endswith(_MAPPER_MODULE):
+        return
+    visitor = _Visitor(module.path)
+    visitor.visit(module.tree)
+    yield from visitor.findings

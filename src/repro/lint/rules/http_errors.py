@@ -7,6 +7,10 @@ what the load generator counts as a server error.  Concretely, inside any
 ``BaseException`` or the ``ReproError`` root), an earlier handler must
 already have mapped ``ModelError`` to a 4xx; and no handler that catches
 ``ModelError`` may answer with a 5xx.
+
+Version 2 recognises the transport-split response constructors
+(``Response(status, ...)`` / ``Response.json(status, ...)``) alongside the
+legacy ``self._send_json(status, ...)`` helper.
 """
 
 from __future__ import annotations
@@ -16,37 +20,9 @@ from typing import Iterator
 
 from ..findings import Finding
 from ..registry import rule
-from ._common import ScopedVisitor, dotted_name
+from ._common import ScopedVisitor, caught_names, response_statuses
 
 _BROAD = frozenset({"Exception", "BaseException", "ReproError"})
-
-
-def _caught_names(handler: ast.ExceptHandler) -> set[str]:
-    node = handler.type
-    if node is None:
-        return {"BaseException"}
-    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
-    names: set[str] = set()
-    for expr in exprs:
-        chain = dotted_name(expr)
-        if chain is not None:
-            names.add(chain.rsplit(".", 1)[-1])
-    return names
-
-
-def _statuses_sent(node: ast.AST) -> set[int]:
-    statuses: set[int] = set()
-    for child in ast.walk(node):
-        if isinstance(child, ast.Call):
-            func = child.func
-            name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else None
-            )
-            if name == "_send_json" and child.args:
-                first = child.args[0]
-                if isinstance(first, ast.Constant) and isinstance(first.value, int):
-                    statuses.add(first.value)
-    return statuses
 
 
 class _Visitor(ScopedVisitor):
@@ -58,8 +34,8 @@ class _Visitor(ScopedVisitor):
     def visit_Try(self, node: ast.Try) -> None:
         model_mapped_4xx = False
         for handler in node.handlers:
-            caught = _caught_names(handler)
-            statuses = _statuses_sent(handler)
+            caught = caught_names(handler)
+            statuses = response_statuses(handler)
             if "ModelError" in caught:
                 if any(s >= 500 for s in statuses):
                     self.findings.append(
@@ -102,7 +78,7 @@ class _Visitor(ScopedVisitor):
         "malformed client input must surface as 400-with-diagnostic; a 500 "
         "is reserved for genuine server bugs"
     ),
-    version=1,
+    version=2,
     scope=("service/",),
 )
 def check_http_error_mapping(module, project) -> Iterator[Finding]:

@@ -6,8 +6,12 @@ Turns the package's one-shot schedulers into a long-lived serving stack:
   micro-batching request queue, a worker pool (shared dispatch machinery
   with the experiment harness) and an LRU+TTL result cache keyed by
   :meth:`Instance.fingerprint() <repro.model.instance.Instance.fingerprint>`;
-* :mod:`~repro.service.server` — stdlib ``http.server`` JSON frontend
-  (``POST /schedule``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`~repro.service.http` — the transport/app split: a shared
+  WSGI-style core (``Request``/``Response``/``App``) plus two interchangeable
+  frontends — threaded ``http.server`` (default) and a single-event-loop
+  ``asyncio`` transport — serving byte-identical responses;
+* :mod:`~repro.service.server` — the daemon/shard application
+  (``POST /schedule``, ``GET /healthz``, ``GET /metrics``) over that layer;
 * :mod:`~repro.service.client` — ``urllib`` client (with 503 retry/backoff);
 * :mod:`~repro.service.loadtest` — cold/warm load generator used by
   ``python -m repro loadtest`` and the service throughput benchmark;
@@ -27,7 +31,13 @@ from .core import (
     request_from_payload,
 )
 from .loadtest import build_workload_payloads, run_loadtest
-from .server import ServiceHTTPServer, make_server, start_background_server
+from .http import TRANSPORTS
+from .server import (
+    DaemonApp,
+    ServiceHTTPServer,
+    make_server,
+    start_background_server,
+)
 from .cluster import (
     ClusterHandle,
     ClusterSupervisor,
@@ -41,8 +51,10 @@ __all__ = [
     "CacheStats",
     "ClusterHandle",
     "ClusterSupervisor",
+    "DaemonApp",
     "LRUTTLCache",
     "MISS",
+    "TRANSPORTS",
     "ScheduleRequest",
     "SchedulerService",
     "ServiceClient",

@@ -6,32 +6,33 @@ test and the service benchmark — anything that talks to a running
 dependencies.
 
 Connections are persistent (HTTP/1.1 keep-alive, one per calling thread,
-Nagle disabled): a load generator fires thousands of requests at one base
-URL, and per-request TCP connects would otherwise dominate the client side
-of every throughput measurement.  A request that fails on a *reused*
-connection (the server closed it while idle) is transparently retried once
-on a fresh one.
+Nagle disabled — see :func:`repro.service.http.pool.open_http_connection`,
+shared with the router's forwarding path): a load generator fires thousands
+of requests at one base URL, and per-request TCP connects would otherwise
+dominate the client side of every throughput measurement.  A request that
+fails on a *reused* connection (the server closed it while idle) is
+transparently retried once on a fresh one.
 
 Backpressure handling: a ``503`` (:class:`~repro.exceptions.ServiceOverloadedError`
-on the server side) is retried with capped, fully-jittered exponential
-backoff — ``retries`` attempts (default 3) with delays drawn uniformly from
-``[0, min(backoff_cap, backoff * 2**attempt)]``.  The cumulative number of
-retries is exposed as :attr:`ServiceClient.retries_total` so load tests can
-report how much backoff the run absorbed.
+on the server side) is retried through the shared
+:class:`~repro.service.http.pool.RetryPolicy` — capped, fully-jittered
+exponential backoff, ``retries`` attempts (default 3) with delays drawn
+uniformly from ``[0, min(backoff_cap, backoff * 2**attempt)]``.  The
+cumulative number of retries is exposed as
+:attr:`ServiceClient.retries_total` so load tests can report how much
+backoff the run absorbed.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-import random
-import socket
 import threading
-import time
 from typing import Any
 from urllib.parse import urlsplit
 
 from ..model.instance import Instance
+from .http.pool import RetryPolicy, open_http_connection
 
 __all__ = ["ServiceClient", "ServiceHTTPError"]
 
@@ -70,29 +71,27 @@ class ServiceClient:
         backoff: float = 0.1,
         backoff_cap: float = 2.0,
     ) -> None:
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
-        if backoff <= 0 or backoff_cap <= 0:
-            raise ValueError("backoff and backoff_cap must be positive")
+        # The shared policy validates its knobs (retries >= 0, positive
+        # backoff) with the same errors this constructor used to raise.
+        self._retry_policy = RetryPolicy(
+            retries=int(retries),
+            backoff=float(backoff),
+            backoff_cap=float(backoff_cap),
+        )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
-        self.retries = int(retries)
-        self.backoff = float(backoff)
-        self.backoff_cap = float(backoff_cap)
+        self.retries = self._retry_policy.retries
+        self.backoff = self._retry_policy.backoff
+        self.backoff_cap = self._retry_policy.backoff_cap
         self.retries_total = 0
         self._retry_lock = threading.Lock()
         split = urlsplit(self.base_url)
-        if split.scheme == "http":
-            self._conn_class: type[http.client.HTTPConnection] = (
-                http.client.HTTPConnection
-            )
-        elif split.scheme == "https":
-            self._conn_class = http.client.HTTPSConnection
-        else:
+        if split.scheme not in ("http", "https"):
             raise ValueError(
                 f"unsupported URL scheme {split.scheme!r} in {base_url!r} "
                 "(use http:// or https://)"
             )
+        self._scheme = split.scheme
         self._host_port = split.netloc
         self._base_path = split.path.rstrip("/")
         self._local = threading.local()
@@ -105,9 +104,9 @@ class ServiceClient:
         conn = getattr(self._local, "conn", None)
         if conn is not None:
             return conn, True
-        conn = self._conn_class(self._host_port, timeout=self.timeout)
-        conn.connect()
-        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = open_http_connection(
+            self._host_port, timeout=self.timeout, scheme=self._scheme
+        )
         self._local.conn = conn
         return conn, False
 
@@ -174,16 +173,12 @@ class ServiceClient:
             try:
                 return self._request_once(path, body, method=method)
             except ServiceHTTPError as exc:
-                if exc.status != 503 or attempt >= self.retries:
+                if exc.status != 503 or attempt >= self._retry_policy.retries:
                     raise
-            delay = min(self.backoff_cap, self.backoff * (2**attempt))
-            attempt += 1
             with self._retry_lock:
                 self.retries_total += 1
-            # Backoff jitter must NOT be seeded/deterministic: clients that
-            # back off in lockstep re-thunder the herd they are spreading.
-            # repro-lint: disable=RL002
-            time.sleep(random.uniform(0.0, delay))
+            self._retry_policy.sleep(attempt)
+            attempt += 1
 
     def close(self) -> None:
         """Close this thread's keep-alive connection (best effort)."""

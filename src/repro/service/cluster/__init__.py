@@ -24,7 +24,14 @@ Entry points: ``python -m repro serve --shards N`` (CLI) or
 """
 
 from .ring import KEY_PREFIX_LEN, ShardRing
-from .router import ClusterHandle, ShardRouterServer, routing_info, start_cluster
+from .router import (
+    ClusterHandle,
+    RouterApp,
+    ShardRouterServer,
+    make_router,
+    routing_info,
+    start_cluster,
+)
 from .supervisor import ClusterSupervisor
 from .worker import (
     ProcessShardHandle,
@@ -39,11 +46,13 @@ __all__ = [
     "ClusterHandle",
     "ClusterSupervisor",
     "ProcessShardHandle",
+    "RouterApp",
     "ShardHandle",
     "ShardRing",
     "ShardRouterServer",
     "ShardSpec",
     "ThreadShardHandle",
+    "make_router",
     "routing_info",
     "run_shard",
     "start_cluster",

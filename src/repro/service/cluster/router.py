@@ -14,7 +14,7 @@ request.
 The router additionally precomputes the shard's full cache key
 (fingerprint, algorithm, canonical params JSON, validate flag) and sends it
 as ``X-Repro-*`` headers: the shard (created with ``trust_fast_headers``)
-serves cache hits straight from its handler thread without re-parsing the
+serves cache hits straight from the trusted headers without re-parsing the
 body — hit work splits between the router process (parse + fingerprint) and
 the owning shard (lookup + serialisation), which is what lets hit throughput
 scale with cores.
@@ -23,6 +23,12 @@ Payloads the fast fingerprint cannot handle (generator specs, malformed
 bodies) are routed by a hash of their canonical JSON — deterministic, so
 replays still land on the same shard and error responses come from the same
 shard-side code path as the daemon's.
+
+Like the daemon (:mod:`repro.service.server`), the router is an
+app/transport split: :class:`RouterApp` holds every route and all routing
+state, and either transport of :mod:`repro.service.http` binds it to a
+socket — ``start_cluster(..., transport="asyncio")`` serves the same
+byte-identical responses from one event loop.
 
 Other routes: ``GET /healthz`` (fleet liveness + the SLO-driven health
 state machine; a fully-dead fleet or ``failing`` state answers 503),
@@ -37,14 +43,10 @@ from __future__ import annotations
 
 import http.client
 import json
-import socket
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
 from hashlib import blake2b
-from http.server import ThreadingHTTPServer
-from urllib.parse import urlsplit
 
 from ...exceptions import ClusterError
 from ...lint.registry import build_info as lint_build_info
@@ -57,13 +59,18 @@ from ...obs.timeseries import WindowDelta
 from ...obs.tracing import Trace, TraceStore, Tracer
 from ..cache import MISS, LRUTTLCache
 from ..core import canonical_json, payload_fingerprint
-from ..server import JsonRequestHandler
+from ..http import ConnectionPool, Request, Response, Route
+from ..http.aio import AsyncioTransport
+from ..http.app import App
+from ..http.threaded import ThreadedTransport
 from .supervisor import ClusterSupervisor
 from .worker import ShardSpec
 
 __all__ = [
     "ClusterHandle",
+    "RouterApp",
     "ShardRouterServer",
+    "make_router",
     "routing_info",
     "start_cluster",
 ]
@@ -112,80 +119,83 @@ def routing_info(raw: bytes) -> tuple[str, dict[str, str]]:
     return "body:" + blake2b(canon.encode(), digest_size=8).hexdigest(), {}
 
 
-class _ShardConnectionPool:
-    """Tiny keep-alive pool of router→shard HTTP connections.
+class RouterApp(App):
+    """The router application: content routing + fleet aggregation.
 
-    Connections are keyed by the shard's *current* URL: after a respawn the
-    shard comes back on a new port and the stale connections simply fail to
-    match and are dropped.
+    Pure request→response logic over one :class:`ClusterSupervisor`;
+    sockets live in whichever transport binds it.  Forward failures are
+    infrastructure outcomes, not handler exceptions — they answer 503 here
+    (the shard-unavailable contract), while malformed *client* input is
+    still rejected by the owning shard's own pipeline so the bytes match
+    the daemon's.
     """
 
-    def __init__(self, timeout: float, max_idle_per_shard: int = 8) -> None:
-        self.timeout = timeout
-        self.max_idle = max_idle_per_shard
-        self._idle: dict[int, deque[tuple[str, http.client.HTTPConnection]]] = {}
-        self._lock = threading.Lock()
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        *,
+        allow_shutdown: bool = False,
+        verbose: bool = False,
+        forward_timeout: float = 300.0,
+        forward_retries: int = 3,
+        retry_wait: float = 0.25,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_ms: float = 500.0,
+        trace_seed: int = 0,
+        slo: SLO | None = None,
+    ) -> None:
+        super().__init__(verbose=verbose)
+        self.supervisor = supervisor
+        self.slo = slo if slo is not None else SLO()
+        # The supervisor's monitor loop drives the cluster health probe so
+        # the fleet reacts to burn rates without waiting for a scrape.
+        supervisor.health_probe = self.cluster_health
+        self.allow_shutdown = allow_shutdown
+        self.forward_retries = int(forward_retries)
+        self.retry_wait = float(retry_wait)
+        self.connections = ConnectionPool(forward_timeout)
+        # body-digest → (routing key, fast headers); see _handle_schedule.
+        self.route_cache = LRUTTLCache(4096)
+        self.tracing = bool(tracing)
+        self.tracer = Tracer("router", seed=trace_seed)
+        self.traces = TraceStore(trace_capacity, slow_ms=slow_ms)
+        self._stats_lock = threading.Lock()
+        self._requests_total = 0
+        self._routing_errors = 0
+        self._per_shard: dict[int, dict[str, int]] = {}
+        # Router-observed forward latency: bounded log-bucket histogram
+        # (the old deque grew a sample per request and aggregated wrongly).
+        self.latency = LatencyHistogram()
 
-    def acquire(self, shard_id: int, url: str) -> http.client.HTTPConnection:
-        with self._lock:
-            idle = self._idle.get(shard_id)
-            while idle:
-                pooled_url, conn = idle.popleft()
-                if pooled_url == url:
-                    return conn
-                conn.close()  # stale: the shard moved (respawn)
-        host_port = url.split("//", 1)[1]
-        conn = http.client.HTTPConnection(host_port, timeout=self.timeout)
-        # Connect eagerly so Nagle can be disabled before the first request:
-        # a reused keep-alive connection writes headers and body separately,
-        # and Nagle + the peer's delayed ACK would stall every forward by
-        # ~40ms otherwise.
-        conn.connect()
-        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return conn
+    def routes(self) -> list[Route]:
+        return [
+            Route("GET", "/healthz", self._handle_healthz),
+            Route("GET", "/metrics", self._handle_metrics),
+            Route("GET", "/metrics/history", self._handle_history),
+            Route("GET", "/traces", self._handle_traces),
+            Route("GET", "/trace/", self._handle_trace, prefix=True),
+            Route("POST", "/schedule", self._handle_schedule),
+            Route("POST", "/purge", self._handle_purge),
+            Route("POST", "/shutdown", self._handle_shutdown),
+        ]
 
-    def release(self, shard_id: int, url: str, conn: http.client.HTTPConnection) -> None:
-        with self._lock:
-            idle = self._idle.setdefault(shard_id, deque())
-            if len(idle) < self.max_idle:
-                idle.append((url, conn))
-                return
-        conn.close()
+    def close(self) -> None:
+        """Stop routing on behalf of this app (the fleet stays up).
 
-    def close_all(self) -> None:
-        with self._lock:
-            for idle in self._idle.values():
-                for _, conn in idle:
-                    conn.close()
-            self._idle.clear()
-
-
-class _RouterHandler(JsonRequestHandler):
-    server: "ShardRouterServer"
+        Does *not* stop the shard fleet — that is the supervisor's job (see
+        :meth:`ClusterHandle.close` for the combined teardown).
+        """
+        # Uninstall the health probe: the supervisor may outlive the router
+        # and must not keep fanning out on behalf of a closed frontend.
+        if self.supervisor.health_probe == self.cluster_health:
+            self.supervisor.health_probe = None
+        self.connections.close_all()
 
     # ------------------------------------------------------------------ #
-    # routes
+    # GET routes
     # ------------------------------------------------------------------ #
-    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-        url = urlsplit(self.path)
-        if url.path == "/healthz":
-            self._handle_healthz()
-        elif url.path == "/metrics":
-            metrics = self.server.aggregate_metrics()
-            if self._query_param(url.query, "format") == "prometheus":
-                self._send_prometheus(render_cluster_metrics(metrics))
-            else:
-                self._send_json(200, metrics)
-        elif url.path == "/metrics/history":
-            self._handle_history(url.query)
-        elif url.path.startswith("/trace/"):
-            self._handle_trace(url.path[len("/trace/") :])
-        elif url.path == "/traces":
-            self._handle_traces(url.query)
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-
-    def _handle_healthz(self) -> None:
+    def _handle_healthz(self, request: Request) -> Response:
         """Fleet health: liveness + the SLO-driven cluster state machine.
 
         Answers 503 for a fully-dead fleet and for the ``failing`` state so
@@ -195,15 +205,13 @@ class _RouterHandler(JsonRequestHandler):
         monitor-cached health document when fresh; recomputes when the
         cache is stale or liveness has visibly changed under it.
         """
-        supervisor = self.server.supervisor
+        supervisor = self.supervisor
         alive = supervisor.alive_count()
-        health = supervisor.last_health(
-            max_age=supervisor.health_interval * 2.0
-        )
+        health = supervisor.last_health(max_age=supervisor.health_interval * 2.0)
         if health is None or alive < supervisor.num_shards:
-            health = self.server.cluster_health()
+            health = self.cluster_health()
         failing = alive == 0 or health["state"] == "failing"
-        self._send_json(
+        return Response.json(
             503 if failing else 200,
             {
                 "status": health["state"],
@@ -216,35 +224,33 @@ class _RouterHandler(JsonRequestHandler):
             },
         )
 
-    def _handle_history(self, query: str) -> None:
+    def _handle_metrics(self, request: Request) -> Response:
+        metrics = self.aggregate_metrics()
+        if request.query_param("format") == "prometheus":
+            return Response(
+                200,
+                render_cluster_metrics(metrics).encode(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return Response.json(200, metrics)
+
+    def _handle_history(self, request: Request) -> Response:
         """Fleet time series: per-shard history docs + exact cluster SLO.
 
         One fan-out gathers every shard's ``/metrics/history``; the
         cluster-level SLO evaluation merges the window deltas those
         documents already carry (no second fan-out).
         """
-        try:
-            window = self._query_param(query, "window")
-            step = self._query_param(query, "step")
-            window_s = float(window) if window is not None else None
-            step_s = float(step) if step is not None else None
-            if window_s is not None and window_s <= 0:
-                raise ValueError("window must be positive")
-            if step_s is not None and step_s <= 0:
-                raise ValueError("step must be positive")
-        except ValueError as exc:
-            self._send_json(400, {"error": f"bad history query: {exc}"})
-            return
-        server = self.server
-        supervisor = server.supervisor
+        window_s, step_s = self.parse_window_query(request)
+        supervisor = self.supervisor
         documents = supervisor.shard_histories(window_s, step_s)
-        slo_status = server.cluster_slo_status(documents)
+        slo_status = self.cluster_slo_status(documents)
         health = evaluate_health(
             slo_status,
             alive=supervisor.alive_count(),
             shards=supervisor.num_shards,
         )
-        self._send_json(
+        return Response.json(
             200,
             {
                 "component": "router",
@@ -258,7 +264,7 @@ class _RouterHandler(JsonRequestHandler):
             },
         )
 
-    def _handle_trace(self, trace_id: str) -> None:
+    def _handle_trace(self, request: Request, trace_id: str) -> Response:
         """Stitch one trace across the fleet: router + every shard component.
 
         The router's component is the authoritative head (it observed the
@@ -267,28 +273,22 @@ class _RouterHandler(JsonRequestHandler):
         ``X-Repro-Trace-Id`` yields a single document spanning the forward
         hop *and* the shard-side pipeline.
         """
-        trace = self.server.traces.get(trace_id)
+        trace = self.traces.get(trace_id)
         components: list[dict] = []
         if trace is not None:
             components.append(trace.as_dict())
-        components.extend(
-            self.server.supervisor.gather_trace_components(trace_id)
-        )
+        components.extend(self.supervisor.gather_trace_components(trace_id))
         if not components:
-            self._send_json(404, {"error": f"unknown trace {trace_id!r}"})
-            return
-        self._send_json(200, {"trace_id": trace_id, "components": components})
+            return Response.json(404, {"error": f"unknown trace {trace_id!r}"})
+        return Response.json(
+            200, {"trace_id": trace_id, "components": components}
+        )
 
-    def _handle_traces(self, query: str) -> None:
+    def _handle_traces(self, request: Request) -> Response:
         """Router-side trace summaries (shard spans stitch in via /trace/<id>)."""
-        store = self.server.traces
-        slow_param = self._query_param(query, "slow_ms")
-        try:
-            slow_ms = float(slow_param) if slow_param is not None else None
-        except ValueError:
-            self._send_json(400, {"error": f"bad slow_ms {slow_param!r}"})
-            return
-        self._send_json(
+        store = self.traces
+        slow_ms = self.parse_slow_ms_query(request)
+        return Response.json(
             200,
             {
                 "traces": store.summaries(slow_ms=slow_ms),
@@ -298,41 +298,29 @@ class _RouterHandler(JsonRequestHandler):
             },
         )
 
-    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
-        if self.path == "/schedule":
-            self._handle_schedule()
-        elif self.path == "/purge":
-            self._handle_purge()
-        elif self.path == "/shutdown":
-            self._handle_shutdown()
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-
-    def _handle_schedule(self) -> None:
-        # Mirrors the daemon's oversized-body rejection (without draining).
-        length = self._checked_content_length()
-        if length is None:
-            return
-        raw = self.rfile.read(length) if length > 0 else b""
+    # ------------------------------------------------------------------ #
+    # POST routes
+    # ------------------------------------------------------------------ #
+    def _handle_schedule(self, request: Request) -> Response:
+        raw = request.body
         # Route cache: routing_info is a pure function of the body bytes, and
         # the whole point of the fingerprint cache is that bodies repeat —
         # replays skip the JSON parse + fingerprint entirely (a ~100-byte
         # digest lookup instead), which keeps the router off the critical
         # path of warm-hit throughput.
-        server = self.server
         trace: Trace | None = None
-        if server.tracing:
+        if self.tracing:
             # Adopt a client-supplied id or mint one; either way the same id
             # travels to the owning shard so /trace/<id> stitches both sides.
-            trace = server.tracer.start(self.headers.get("X-Repro-Trace-Id"))
+            trace = self.tracer.start(request.headers.get("X-Repro-Trace-Id"))
         route_start = time.perf_counter()
         digest = blake2b(raw, digest_size=16).digest()
-        cached = self.server.route_cache.get(digest)
+        cached = self.route_cache.get(digest)
         if cached is not MISS:
             key, fast_headers = cached
         else:
             key, fast_headers = routing_info(raw)
-            self.server.route_cache.put(digest, (key, fast_headers))
+            self.route_cache.put(digest, (key, fast_headers))
         if trace is not None:
             trace.record_span(
                 SPAN_ROUTE,
@@ -344,16 +332,17 @@ class _RouterHandler(JsonRequestHandler):
         if trace is not None:
             forward_headers["X-Repro-Trace-Id"] = trace.trace_id
         start = time.perf_counter()
-        attempts = self.server.forward_retries + 1
+        attempts = self.forward_retries + 1
         for attempt in range(attempts):
             try:
                 # Re-resolve the shard URL on every attempt: a crashed shard
                 # comes back on a fresh port once the monitor respawns it.
-                shard_id, url = self.server.supervisor.route(key)
+                shard_id, url = self.supervisor.route(key)
             except ClusterError as exc:
-                self.server.record_route_error(None)
-                self._send_routed(503, {"error": str(exc)}, trace)
-                return
+                # Infrastructure outcome, not a handler bug: an empty ring
+                # answers the documented 503, span-per-attempt trace kept.
+                self.record_route_error(None)
+                return self._routed_response(503, {"error": str(exc)}, trace)
             forward_start = time.perf_counter()
             try:
                 status, body = self._forward_once(
@@ -369,9 +358,9 @@ class _RouterHandler(JsonRequestHandler):
                         attempt=attempt,
                         error=True,
                     )
-                self.server.record_route_error(shard_id)
+                self.record_route_error(shard_id)
                 if attempt + 1 >= attempts:
-                    self._send_routed(
+                    return self._routed_response(
                         503,
                         {
                             "error": f"shard {shard_id} unavailable after "
@@ -379,8 +368,7 @@ class _RouterHandler(JsonRequestHandler):
                         },
                         trace,
                     )
-                    return
-                time.sleep(self.server.retry_wait)
+                time.sleep(self.retry_wait)
                 continue
             if trace is not None:
                 trace.record_span(
@@ -392,39 +380,39 @@ class _RouterHandler(JsonRequestHandler):
                     status=status,
                 )
             elapsed_ms = (time.perf_counter() - start) * 1e3
-            self.server.record_forward(shard_id, elapsed_ms)
-            self._send_routed(status, body, trace)
-            return
+            self.record_forward(shard_id, elapsed_ms)
+            return self._routed_response(status, body, trace)
+        raise AssertionError("unreachable: every retry path returns")
 
-    def _send_routed(
+    def _routed_response(
         self, status: int, body: bytes | dict, trace: Trace | None
-    ) -> None:
+    ) -> Response:
         """Land the router trace, then relay ``body`` with the trace header.
 
         The trace is stored for *every* outcome — a 503 after exhausted
         retries is exactly the request you want a span-per-attempt record
-        of — and the body bytes are never touched, preserving byte-identity
-        with the single-process daemon.
+        of — and relayed body bytes are never touched, preserving
+        byte-identity with the single-process daemon.
         """
         if isinstance(body, dict):
             body = json.dumps(body).encode()
-        extra_headers = None
+        headers: dict[str, str] = {}
         if trace is not None:
             trace.finish()
-            self.server.traces.add(trace)
-            if trace.duration_ms >= self.server.traces.slow_ms:
-                self.log_message(
+            self.traces.add(trace)
+            if trace.duration_ms >= self.traces.slow_ms:
+                self.log(
                     "slow request trace=%s %.1fms",
                     trace.trace_id,
                     trace.duration_ms,
                 )
-            extra_headers = {"X-Repro-Trace-Id": trace.trace_id}
-        self._send_body(status, body, extra_headers=extra_headers)
+            headers["X-Repro-Trace-Id"] = trace.trace_id
+        return Response(status, body, headers=headers)
 
     def _forward_once(
         self, shard_id: int, url: str, raw: bytes, fast_headers: dict[str, str]
     ) -> tuple[int, bytes]:
-        pool = self.server.connections
+        pool = self.connections
         conn = pool.acquire(shard_id, url)
         reusable = False
         try:
@@ -448,13 +436,11 @@ class _RouterHandler(JsonRequestHandler):
             else:
                 conn.close()
 
-    def _handle_purge(self) -> None:
-        payload = self._read_purge_payload()
-        if payload is None:
-            return
-        results = self.server.supervisor.purge_all(all=bool(payload.get("all")))
+    def _handle_purge(self, request: Request) -> Response:
+        payload = self.read_optional_dict_body(request, context="purge")
+        results = self.supervisor.purge_all(all=bool(payload.get("all")))
         reachable = [r for r in results.values() if r is not None]
-        self._send_json(
+        return Response.json(
             200,
             {
                 "expired_purged": sum(r["expired_purged"] for r in reachable),
@@ -463,59 +449,16 @@ class _RouterHandler(JsonRequestHandler):
             },
         )
 
-    def _handle_shutdown(self) -> None:
-        if not self.server.allow_shutdown:
-            self._send_json(403, {"error": "shutdown endpoint disabled"})
-            return
-        self._send_json(200, {"status": "shutting down"})
-        threading.Thread(target=self.server.shutdown, daemon=True).start()
+    def _handle_shutdown(self, request: Request) -> Response:
+        if not self.allow_shutdown:
+            return Response.json(403, {"error": "shutdown endpoint disabled"})
+        return Response.json(
+            200, {"status": "shutting down"}, after_send=self._request_stop
+        )
 
-
-class ShardRouterServer(ThreadingHTTPServer):
-    """Threading HTTP router in front of one :class:`ClusterSupervisor`."""
-
-    daemon_threads = True
-
-    def __init__(
-        self,
-        address: tuple[str, int],
-        supervisor: ClusterSupervisor,
-        *,
-        allow_shutdown: bool = False,
-        verbose: bool = False,
-        forward_timeout: float = 300.0,
-        forward_retries: int = 3,
-        retry_wait: float = 0.25,
-        tracing: bool = True,
-        trace_capacity: int = 256,
-        slow_ms: float = 500.0,
-        trace_seed: int = 0,
-        slo: SLO | None = None,
-    ) -> None:
-        super().__init__(address, _RouterHandler)
-        self.supervisor = supervisor
-        self.slo = slo if slo is not None else SLO()
-        # The supervisor's monitor loop drives the cluster health probe so
-        # the fleet reacts to burn rates without waiting for a scrape.
-        supervisor.health_probe = self.cluster_health
-        self.allow_shutdown = allow_shutdown
-        self.verbose = verbose
-        self.forward_retries = int(forward_retries)
-        self.retry_wait = float(retry_wait)
-        self.connections = _ShardConnectionPool(forward_timeout)
-        # body-digest → (routing key, fast headers); see _handle_schedule.
-        self.route_cache = LRUTTLCache(4096)
-        self.tracing = bool(tracing)
-        self.tracer = Tracer("router", seed=trace_seed)
-        self.traces = TraceStore(trace_capacity, slow_ms=slow_ms)
-        self._stats_lock = threading.Lock()
-        self._requests_total = 0
-        self._routing_errors = 0
-        self._per_shard: dict[int, dict[str, int]] = {}
-        # Router-observed forward latency: bounded log-bucket histogram
-        # (the old deque grew a sample per request and aggregated wrongly).
-        self.latency = LatencyHistogram()
-        self._serve_started = False
+    def _request_stop(self) -> None:
+        if self.transport_shutdown is not None:
+            self.transport_shutdown()
 
     # ------------------------------------------------------------------ #
     # bookkeeping (called from handler threads)
@@ -652,27 +595,33 @@ class ShardRouterServer(ThreadingHTTPServer):
             shards=supervisor.num_shards,
         )
         supervisor.record_health(health)
+        # The stats lock covers only the router's own counters; the route
+        # cache and the trace store synchronise themselves.
         with self._stats_lock:
-            router = {
-                "requests_total": self._requests_total,
-                "routing_errors": self._routing_errors,
-                "route_cache": {
-                    **self.route_cache.stats.as_dict(),
-                    "size": len(self.route_cache),
-                },
-                "per_shard": {
-                    str(sid): dict(entry)
-                    for sid, entry in sorted(self._per_shard.items())
-                },
-                "latency": self.latency.summary(),
-                "traces": {
-                    "stored": len(self.traces),
-                    "capacity": self.traces.capacity,
-                    "slow_total": self.traces.slow_total,
-                    "slow_ms": self.traces.slow_ms,
-                    "enabled": self.tracing,
-                },
+            requests_total = self._requests_total
+            routing_errors = self._routing_errors
+            per_shard = {
+                str(sid): dict(entry)
+                for sid, entry in sorted(self._per_shard.items())
             }
+            latency_summary = self.latency.summary()
+        router = {
+            "requests_total": requests_total,
+            "routing_errors": routing_errors,
+            "route_cache": {
+                **self.route_cache.stats.as_dict(),
+                "size": len(self.route_cache),
+            },
+            "per_shard": per_shard,
+            "latency": latency_summary,
+            "traces": {
+                "stored": len(self.traces),
+                "capacity": self.traces.capacity,
+                "slow_total": self.traces.slow_total,
+                "slow_ms": self.traces.slow_ms,
+                "enabled": self.tracing,
+            },
+        }
         latency = fleet_latency.summary()
         forwarded = [e["requests"] for e in router["per_shard"].values()]
         total_forwarded = sum(forwarded)
@@ -707,32 +656,67 @@ class ShardRouterServer(ThreadingHTTPServer):
             "build": lint_build_info(),
         }
 
-    # ------------------------------------------------------------------ #
-    # lifecycle
-    # ------------------------------------------------------------------ #
-    def serve_forever(self, *args, **kwargs) -> None:
-        self._serve_started = True
-        super().serve_forever(*args, **kwargs)
 
-    @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
+class ShardRouterServer(ThreadedTransport):
+    """Threaded transport bound to one :class:`RouterApp`.
 
-    def close(self) -> None:
-        """Stop routing and release the listening socket.
+    Compatibility frontend keeping the pre-split constructor signature;
+    router-level attributes and methods (``supervisor``,
+    ``aggregate_metrics``, ``traces``, ...) read through to the app.
+    """
 
-        Does *not* stop the shard fleet — that is the supervisor's job (see
-        :meth:`ClusterHandle.close` for the combined teardown).
-        """
-        if self._serve_started:
-            self.shutdown()
-        # Uninstall the health probe: the supervisor may outlive the router
-        # and must not keep fanning out on behalf of a closed frontend.
-        if self.supervisor.health_probe == self.cluster_health:
-            self.supervisor.health_probe = None
-        self.server_close()
-        self.connections.close_all()
+    def __init__(
+        self,
+        address: tuple[str, int],
+        supervisor: ClusterSupervisor,
+        *,
+        verbose: bool = False,
+        **router_kwargs,
+    ) -> None:
+        app = RouterApp(supervisor, verbose=verbose, **router_kwargs)
+        super().__init__(address, app, verbose=verbose)
+
+    def __getattr__(self, name: str):
+        if name == "app":  # not yet bound during base-class __init__
+            raise AttributeError(name)
+        return getattr(self.app, name)
+
+
+class AsyncShardRouterServer(AsyncioTransport):
+    """Asyncio transport bound to one :class:`RouterApp` (same surface)."""
+
+    def __getattr__(self, name: str):
+        if name == "app":
+            raise AttributeError(name)
+        return getattr(self.app, name)
+
+
+def make_router(
+    address: tuple[str, int],
+    supervisor: ClusterSupervisor,
+    *,
+    transport: str = "threaded",
+    verbose: bool = False,
+    **router_kwargs,
+):
+    """Bind a router frontend over ``supervisor`` on the chosen transport.
+
+    Both return types expose the same surface (``url``, ``serve_forever``,
+    ``close``, plus every :class:`RouterApp` attribute by delegation) and
+    serve byte-identical responses.
+    """
+    if transport == "threaded":
+        return ShardRouterServer(
+            address, supervisor, verbose=verbose, **router_kwargs
+        )
+    if transport == "asyncio":
+        app = RouterApp(supervisor, verbose=verbose, **router_kwargs)
+        return AsyncShardRouterServer(address, app, verbose=verbose)
+    from ..http import TRANSPORTS
+
+    raise ValueError(
+        f"unknown transport {transport!r} (choose from {', '.join(TRANSPORTS)})"
+    )
 
 
 @dataclass
@@ -771,21 +755,25 @@ def start_cluster(
     verbose: bool = False,
     forward_timeout: float = 300.0,
     slo: SLO | None = None,
+    transport: str = "threaded",
 ) -> ClusterHandle:
     """Boot a sharded cluster and serve its router on a background thread.
 
     The cluster equivalent of
     :func:`~repro.service.server.start_background_server`; used by the
     self-hosted ``loadtest --shards``, the cluster benchmark and the tests.
-    Stop it with :meth:`ClusterHandle.close`.
+    ``transport`` selects the *router* frontend; each shard picks its own
+    via :attr:`ShardSpec.transport`.  Stop it with
+    :meth:`ClusterHandle.close`.
     """
     supervisor = ClusterSupervisor(
         shards, spec=spec, backend=backend, vnodes=vnodes, respawn=respawn
     ).start()
     try:
-        server = ShardRouterServer(
+        server = make_router(
             (host, port),
             supervisor,
+            transport=transport,
             allow_shutdown=allow_shutdown,
             verbose=verbose,
             forward_timeout=forward_timeout,

@@ -33,7 +33,7 @@ from multiprocessing.connection import Connection
 from ...exceptions import ClusterError
 from ...obs.slo import SLO
 from ..core import SchedulerService
-from ..server import ServiceHTTPServer
+from ..server import ServiceHTTPServer, make_server
 
 __all__ = [
     "ProcessShardHandle",
@@ -69,10 +69,14 @@ class ShardSpec:
     sample_interval: float | None = 1.0
     history_capacity: int = 720
     slo_p99_ms: float = 500.0
+    #: HTTP frontend of each shard ("threaded" or "asyncio") — a transport
+    #: concern, not a service knob, hence popped in :meth:`build_service`.
+    transport: str = "threaded"
 
     def build_service(self, shard_id: int | None = None) -> SchedulerService:
         kwargs = asdict(self)
         kwargs.pop("verbose")
+        kwargs.pop("transport")
         # The SLO rides the spec as its scalar knob (an SLO dataclass would
         # pickle fine, but one number keeps the CLI surface flat).
         kwargs["slo"] = SLO(p99_ms=kwargs.pop("slo_p99_ms"))
@@ -95,9 +99,11 @@ def run_shard(shard_id: int, spec: ShardSpec, conn: Connection) -> None:
     # allow_shutdown stays False: the supervisor stops shards itself
     # (terminate / server.close), and an open /shutdown on the shard port
     # would bypass the router's shutdown gate.
-    server = ServiceHTTPServer(
-        ("127.0.0.1", 0),
+    server = make_server(
+        "127.0.0.1",
+        0,
         service,
+        transport=spec.transport,
         trust_fast_headers=True,
         verbose=spec.verbose,
     )
@@ -205,9 +211,11 @@ class ThreadShardHandle(ShardHandle):
 
     def start(self, ready_timeout: float = 30.0) -> str:
         service = self.spec.build_service(self.shard_id)
-        self._server = ServiceHTTPServer(
-            ("127.0.0.1", 0),
+        self._server = make_server(
+            "127.0.0.1",
+            0,
             service,
+            transport=self.spec.transport,
             trust_fast_headers=True,
             verbose=self.spec.verbose,
         )

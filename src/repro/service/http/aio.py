@@ -1,0 +1,307 @@
+"""Asyncio transport: one event loop, thousands of keep-alive connections.
+
+The thread-per-connection default (:mod:`.threaded`) pays a thread stack
+and scheduler churn per idle keep-alive connection; at hundreds of
+concurrent clients that overhead dominates the warm cache-hit path.  This
+transport holds every connection on a single event loop (stdlib
+``asyncio.start_server`` + a minimal HTTP/1.1 parser) and dispatches each
+parsed :class:`~repro.service.http.app.Request` to a bounded worker-thread
+executor — ``App.handle`` and everything below it (the scheduler service,
+its locks, the micro-batching dispatcher) runs exactly the code it runs
+under the threaded transport, so the two serve byte-identical responses.
+
+Parser scope (matching what the threaded stack accepts in practice):
+request line + headers + ``Content-Length`` bodies, HTTP/1.0 and 1.1,
+keep-alive with pipelined-request safety (requests on one connection are
+parsed and answered strictly in order, so pipelined bytes simply wait in
+the stream buffer), oversized bodies rejected before reading.  Chunked
+request bodies are refused with a 400 — the threaded stack never decoded
+them either, it just desynchronised; refusing is the honest version.
+Slow clients are handled by ``drain()`` backpressure on writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import platform
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from email.utils import formatdate
+from http import HTTPStatus
+from urllib.parse import urlsplit
+
+from .app import App, Headers, Request, Response
+from .errors import oversized_body_response
+
+__all__ = ["AsyncioTransport"]
+
+#: Refuse requests with more header lines than this.
+MAX_HEADERS = 256
+
+_SERVER_ID = f"ReproAsyncHTTP/1.1 Python/{platform.python_version()}"
+
+
+def _bad_request(message: str) -> Response:
+    """A parse-level 400; always closes (the stream may be desynced)."""
+    return Response.json(400, {"error": message}, close=True)
+
+
+class AsyncioTransport:
+    """``asyncio.start_server`` frontend bound to one :class:`App`.
+
+    Presents the same lifecycle surface as the threaded transport:
+    ``server_address`` is available right after construction (the listening
+    socket is bound eagerly), ``serve_forever()`` blocks running the event
+    loop, ``shutdown()`` is thread-safe, ``close()`` tears everything down.
+
+    ``app_workers`` bounds the executor running ``App.handle`` calls; the
+    event loop itself never executes application code, so a slow scheduler
+    batch cannot stall connection handling.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: App,
+        *,
+        verbose: bool = False,
+        app_workers: int = 32,
+    ) -> None:
+        self.app = app
+        self.verbose = verbose
+        app.verbose = app.verbose or verbose
+        app.transport_shutdown = self.shutdown
+        self.app_workers = int(app_workers)
+        self._socket = socket.create_server(address)
+        self._lifecycle_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._stop_requested = False
+        self._serve_started = False
+        self._finished = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (mirrors the ThreadedTransport surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def server_address(self) -> tuple:
+        return self._socket.getsockname()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        self._serve_started = True
+        try:
+            asyncio.run(self._serve())
+        finally:
+            self._finished.set()
+
+    def shutdown(self) -> None:
+        """Thread-safe stop signal; returns immediately."""
+        with self._lifecycle_lock:
+            self._stop_requested = True
+            loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already closed between check and call
+                pass
+
+    def server_close(self) -> None:
+        """Release the listening socket (idempotent)."""
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def close(self) -> None:
+        """Full teardown: stop the loop, release the socket, close the app."""
+        self.shutdown()
+        if self._serve_started:
+            self._finished.wait(timeout=30.0)
+        self.server_close()
+        self.app.close()
+
+    # ------------------------------------------------------------------ #
+    # event loop
+    # ------------------------------------------------------------------ #
+    async def _serve(self) -> None:
+        stop = asyncio.Event()
+        with self._lifecycle_lock:
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = stop
+            if self._stop_requested:  # closed before the loop came up
+                return
+        executor = ThreadPoolExecutor(
+            max_workers=self.app_workers, thread_name_prefix="repro-http-app"
+        )
+        self._executor = executor
+        server = await asyncio.start_server(self._client_connected, sock=self._socket)
+        try:
+            await stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Idle keep-alive connection tasks are cancelled by
+            # ``asyncio.run`` on loop teardown; the executor must not block
+            # shutdown on an in-flight scheduler batch.
+            executor.shutdown(wait=False)
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Same rationale as the threaded handler's
+            # ``disable_nagle_algorithm``: replies are multiple sends.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:  # clean EOF or peer reset between requests
+                    return
+                request, close_after = parsed
+                if isinstance(request, Response):
+                    # Parse-level error response (malformed line, oversized
+                    # body, ...): the stream may be desynced, always close.
+                    await self._write_response(writer, request, close=True)
+                    return
+                if self.verbose:
+                    self.app.log(
+                        '%s - "%s %s"', writer.get_extra_info("peername"),
+                        request.method, request.target,
+                    )
+                # Application code never runs on the event loop: the
+                # scheduler compute path, its locks and the micro-batching
+                # dispatcher behave exactly as under the threaded stack.
+                response = await loop.run_in_executor(
+                    self._executor, self.app.handle, request
+                )
+                close_after = close_after or response.close
+                await self._write_response(writer, response, close=close_after)
+                if response.after_send is not None:
+                    response.after_send()
+                if close_after:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # peer went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            # Loop teardown cancels connection tasks wherever they are
+            # parked; finishing normally keeps the stdlib stream
+            # protocol's done-callback from logging the cancellation as
+            # an error.
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[Request | Response, bool] | None:
+        """Parse one request; ``None`` on EOF, a Response on parse errors."""
+        line = b""
+        for _ in range(8):  # RFC 9112 §2.2: ignore CRLFs before the line
+            try:
+                line = await reader.readline()
+            except ValueError:  # line beyond the stream limit (64 KiB)
+                return _bad_request("request line too long"), True
+            if line == b"":
+                return None
+            if line not in (b"\r\n", b"\n"):
+                break
+        else:
+            return _bad_request("expected a request line"), True
+        try:
+            words = line.decode("latin-1").split()
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            return _bad_request("malformed request line"), True
+        if len(words) != 3 or not words[2].startswith("HTTP/1."):
+            return _bad_request(f"malformed request line {line!r}"), True
+        method, target, version = words
+
+        raw_headers: dict[str, str] = {}
+        for _ in range(MAX_HEADERS):
+            try:
+                line = await reader.readline()
+            except ValueError:
+                return _bad_request("header line too long"), True
+            if line in (b"\r\n", b"\n"):
+                break
+            if line == b"":  # EOF mid-headers
+                return None
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep or not name or name != name.strip() or " " in name:
+                return _bad_request(f"malformed header line {line!r}"), True
+            # First value wins, matching email.message.Message.get on the
+            # threaded side.
+            raw_headers.setdefault(name.lower(), value.strip())
+        else:
+            return _bad_request(f"more than {MAX_HEADERS} header lines"), True
+        headers = Headers(raw_headers)
+
+        if "chunked" in (headers.get("Transfer-Encoding") or "").lower():
+            return _bad_request("chunked transfer encoding is not supported"), True
+        try:
+            length = int(headers.get("Content-Length", 0) or 0)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            return _bad_request(
+                f"bad Content-Length {headers.get('Content-Length')!r}"
+            ), True
+        if length > self.app.max_body_bytes:
+            # Rejected without reading — identical body and close
+            # behaviour to the threaded transport's guard.
+            return oversized_body_response(self.app.max_body_bytes), True
+        body = await reader.readexactly(length) if length else b""
+
+        connection = (headers.get("Connection") or "").lower()
+        if version == "HTTP/1.0":
+            close_after = "keep-alive" not in connection
+        else:
+            close_after = "close" in connection
+        url = urlsplit(target)
+        request = Request(
+            method=method,
+            target=target,
+            path=url.path,
+            query=url.query,
+            headers=headers,
+            body=body,
+        )
+        return request, close_after
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response, *, close: bool
+    ) -> None:
+        try:
+            phrase = HTTPStatus(response.status).phrase
+        except ValueError:
+            phrase = ""
+        head = [
+            f"HTTP/1.1 {response.status} {phrase}",
+            f"Server: {_SERVER_ID}",
+            f"Date: {formatdate(usegmt=True)}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in response.headers.items())
+        if close:
+            head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(response.body)
+        # Backpressure-aware: a slow client reading in dribs just parks
+        # this coroutine instead of blocking a handler thread.
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return  # peer vanished mid-write; the response is moot

@@ -26,11 +26,13 @@ shard — forwarded requests, cache hits, fast hits — plus the ring's
 
 from __future__ import annotations
 
+import asyncio
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
+from urllib.parse import urlsplit
 
 import numpy as np
 
@@ -43,6 +45,7 @@ __all__ = [
     "PhaseStats",
     "build_workload_payloads",
     "run_loadtest",
+    "run_soak",
     "shard_distribution",
 ]
 
@@ -197,6 +200,138 @@ def shard_distribution(server_metrics: dict) -> tuple[dict | None, dict | None]:
     return distribution, server_metrics.get("imbalance")
 
 
+async def _soak_exchange(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    head: bytes,
+    body: bytes,
+) -> tuple[int, bool]:
+    """One request/response on a soak connection: ``(status, server_closed)``."""
+    writer.write(head)
+    writer.write(body)
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    content_length = 0
+    close = False
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        lowered = name.strip().lower()
+        if lowered == b"content-length":
+            content_length = int(value.strip())
+        elif lowered == b"connection" and b"close" in value.lower():
+            close = True
+    if content_length:
+        await reader.readexactly(content_length)
+    return status, close
+
+
+def run_soak(
+    base_url: str,
+    encoded: Sequence[bytes],
+    *,
+    connections: int,
+    requests_per_connection: int = 20,
+    timeout: float = 300.0,
+) -> dict:
+    """High-concurrency keep-alive soak: hundreds of concurrent connections.
+
+    The cold/warm phases drive one client thread per concurrency slot, which
+    tops out around a few dozen connections before client-side thread churn
+    dominates.  This phase instead holds ``connections`` concurrent
+    keep-alive connections on a single asyncio event loop (one coroutine
+    each — the client-side mirror of the server's asyncio transport) and
+    fires ``requests_per_connection`` sequential ``POST /schedule`` requests
+    down every one of them.  That measures the server's connection-scaling
+    behaviour, which is exactly where the threaded and asyncio transports
+    differ.
+
+    Payloads are the pre-encoded warm pool, so a warmed server answers from
+    cache and the measurement is connection handling, not scheduling.
+    """
+    split = urlsplit(base_url)
+    host = split.hostname or "127.0.0.1"
+    port = split.port or (443 if split.scheme == "https" else 80)
+    path = (split.path.rstrip("/") or "") + "/schedule"
+    heads = [
+        (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {split.netloc}\r\n"
+            "Content-Type: application/json\r\n"
+            "Accept: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        for body in encoded
+    ]
+
+    async def one_connection(conn_index: int) -> tuple[int, int, int]:
+        """``(ok, rejected, errors)`` — 503 backpressure is *rejected*, not
+        an error: at hundreds of connections the service's bounded submit
+        queue is expected to push back, and the soak measures how the
+        transport behaves around that, not whether it happens."""
+        ok = rejected = errors = 0
+        reader = writer = None
+        try:
+            for r in range(requests_per_connection):
+                index = (conn_index + r) % len(encoded)
+                try:
+                    if writer is None:
+                        reader, writer = await asyncio.wait_for(
+                            asyncio.open_connection(host, port), timeout
+                        )
+                    status, close = await asyncio.wait_for(
+                        _soak_exchange(reader, writer, heads[index], encoded[index]),
+                        timeout,
+                    )
+                except (OSError, asyncio.IncompleteReadError, TimeoutError, ValueError):
+                    errors += 1
+                    if writer is not None:
+                        writer.close()
+                        writer = None
+                    continue
+                if 200 <= status < 300:
+                    ok += 1
+                elif status == 503:
+                    rejected += 1
+                else:
+                    errors += 1
+                if close:
+                    writer.close()
+                    writer = None
+        finally:
+            if writer is not None:
+                writer.close()
+        return ok, rejected, errors
+
+    async def drive() -> tuple[tuple[int, int, int], float]:
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(one_connection(i) for i in range(connections))
+        )
+        seconds = time.perf_counter() - start
+        totals = tuple(sum(column) for column in zip(*results))
+        return totals, seconds
+
+    (ok, rejected, errors), seconds = asyncio.run(drive())
+    total = ok + rejected + errors
+    return {
+        "connections": connections,
+        "requests_per_connection": requests_per_connection,
+        "requests": total,
+        "ok": ok,
+        "rejected": rejected,
+        "errors": errors,
+        "seconds": seconds,
+        "rps": total / seconds if seconds > 0 else 0.0,
+        "ok_rps": ok / seconds if seconds > 0 else 0.0,
+    }
+
+
 def run_loadtest(
     base_url: str,
     *,
@@ -213,6 +348,8 @@ def run_loadtest(
     include_adversarial: bool = True,
     client_timeout: float = 300.0,
     retries: int = 3,
+    soak_connections: int = 0,
+    soak_requests: int = 20,
 ) -> dict:
     """Run the cold/warm load test against ``base_url``; returns a report dict.
 
@@ -222,6 +359,10 @@ def run_loadtest(
     the total 503-retry count absorbed by the client, the server's own
     ``/metrics`` snapshot, and — against a sharded cluster — the per-shard
     hit distribution plus the ring imbalance.
+
+    With ``soak_connections > 0`` a third phase follows the warm passes: a
+    :func:`run_soak` high-concurrency sweep holding that many concurrent
+    keep-alive connections (the report gains a ``"soak"`` block).
     """
     client = ServiceClient(base_url, timeout=client_timeout, retries=retries)
     payloads = build_workload_payloads(
@@ -266,6 +407,17 @@ def run_loadtest(
         p50_ms=float(np.percentile(warm_latencies, 50)) if warm_latencies else 0.0,
         p99_ms=float(np.percentile(warm_latencies, 99)) if warm_latencies else 0.0,
     )
+    soak = None
+    if soak_connections > 0:
+        # After the warm passes the whole pool is cached, so the soak
+        # measures connection handling at fan-in, not scheduling.
+        soak = run_soak(
+            base_url,
+            encoded,
+            connections=soak_connections,
+            requests_per_connection=soak_requests,
+            timeout=client_timeout,
+        )
     server_metrics = client.metrics()
     distribution, imbalance = shard_distribution(server_metrics)
     report = {
@@ -284,6 +436,8 @@ def run_loadtest(
             "include_adversarial": include_adversarial,
             "pool_size": len(payloads),
             "retries": retries,
+            "soak_connections": soak_connections,
+            "soak_requests": soak_requests,
         },
         "cold": cold.as_dict(),
         "warm": warm.as_dict(),
@@ -297,6 +451,8 @@ def run_loadtest(
         "slo": server_metrics.get("slo"),
         "health": server_metrics.get("health"),
     }
+    if soak is not None:
+        report["soak"] = soak
     if distribution is not None:
         report["shard_distribution"] = distribution
         report["imbalance"] = imbalance

@@ -1,7 +1,13 @@
-"""Stdlib HTTP frontend for :class:`~repro.service.core.SchedulerService`.
+"""HTTP frontend for :class:`~repro.service.core.SchedulerService`.
 
-A :class:`http.server.ThreadingHTTPServer` (one thread per connection, JSON
-bodies) exposing:
+The daemon is now an app/transport split (:mod:`repro.service.http`):
+:class:`DaemonApp` is a pure ``handle(Request) -> Response`` object holding
+every endpoint, and either transport —
+:class:`~repro.service.http.threaded.ThreadedTransport` (one thread per
+connection, the default) or
+:class:`~repro.service.http.aio.AsyncioTransport` (one event loop, many
+keep-alive connections) — binds it to a socket.  Both serve byte-identical
+responses.  Endpoints:
 
 ``POST /schedule``
     Body: ``{"algorithm", "instance" | "generate", "params", "validate"}``
@@ -9,33 +15,39 @@ bodies) exposing:
     response payload of :func:`repro.service.core.compute_response` plus
     ``"cache_hit"`` and ``"elapsed_ms"``.  Malformed input → 400; service
     backpressure → 503; internal scheduling failures → 500.
+``POST /replay``
+    Online replay: epoch-reschedule an arrival trace, return the metric
+    stream plus ``"elapsed_ms"``.
 ``GET /healthz``
     SLO-driven health probe: ``{"status": "ok" | "degraded" | "failing",
     "uptime_seconds", "reasons", "scale_hint"}``; ``failing`` answers 503.
 ``GET /metrics``
     The :meth:`SchedulerService.metrics` JSON (request counts, cache
     hit/miss, latency percentiles, queue depth, rejections, SLO burn
-    rates, health state).
+    rates, health state); ``?format=prometheus`` renders the text
+    exposition format instead.
 ``GET /metrics/history``
     Downsampled metric time series over the trailing window
     (``?window=<seconds>&step=<seconds>``) plus the SLO evaluation.
+``GET /trace/<id>`` / ``GET /traces``
+    One stitched trace document / newest-first trace summaries.
 ``POST /purge``
     Explicit cache-eviction control message (the shared-nothing eviction
     protocol of the sharded cluster): drops expired entries now, or the whole
     cache with body ``{"all": true}``.  Returns the purge counts.
 ``POST /shutdown``
-    Graceful stop — only honoured when the server was created with
+    Graceful stop — only honoured when the app was created with
     ``allow_shutdown=True`` (tests, CI smoke jobs, self-hosted load tests);
     403 otherwise.
 
-Shard deployments (:mod:`repro.service.cluster`) create the server with
+Shard deployments (:mod:`repro.service.cluster`) create the app with
 ``trust_fast_headers=True``: when the router forwarded a request with the
 precomputed cache-key headers (``X-Repro-Fingerprint`` & co.), a cache hit is
-served straight from the handler thread without parsing the body — the shard
+served straight from the trusted headers without parsing the body — the shard
 "owns" its cache slice and answers hits locally.
 
-No third-party dependencies: the whole frontend is ``http.server`` +
-``json``, matching the repo's stdlib-only constraint.
+No third-party dependencies: the whole frontend is stdlib ``http.server`` /
+``asyncio`` + ``json``, matching the repo's stdlib-only constraint.
 """
 
 from __future__ import annotations
@@ -43,11 +55,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs, urlsplit
 
-from ..exceptions import ModelError, ReproError, ServiceOverloadedError
 from ..obs.names import (
     SPAN_FAST_HIT,
     SPAN_FINGERPRINT,
@@ -58,203 +66,112 @@ from ..obs.prometheus import render_service_metrics
 from ..obs.tracing import Trace
 from .cache import MISS
 from .core import SchedulerService, request_from_payload
+from .http import Request, Response, Route
+from .http.aio import AsyncioTransport
+from .http.app import App
+from .http.threaded import ThreadedTransport
 
 __all__ = [
-    "JsonRequestHandler",
+    "DaemonApp",
     "ServiceHTTPServer",
     "make_server",
     "start_background_server",
 ]
 
-#: Refuse request bodies larger than this (64 MiB) — a crude but effective
-#: guard against memory exhaustion from a single client.
-MAX_BODY_BYTES = 64 * 1024 * 1024
 
+class DaemonApp(App):
+    """The daemon/shard application: every endpoint over one service.
 
-class JsonRequestHandler(BaseHTTPRequestHandler):
-    """Shared plumbing for the service's JSON-over-HTTP handlers.
-
-    Used by the daemon/shard handler below and by the cluster router's
-    handler: keep-alive semantics (HTTP/1.1, Nagle disabled — responses are
-    written as two sends and a keep-alive peer would otherwise pay Nagle +
-    delayed-ACK ~40ms per reply), JSON responses with correct
-    ``Connection: close`` signalling, oversized-body rejection and the
-    optional ``/purge`` body parse all live here so the two frontends
-    cannot drift apart.
+    Pure request→response logic; sockets, threads and event loops live in
+    the transport that binds it.  Handlers raise domain exceptions — the
+    shared mapper in :mod:`repro.service.http.errors` owns the
+    error→status contract (400/503/504/500).
     """
 
-    protocol_version = "HTTP/1.1"
-    disable_nagle_algorithm = True
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if self.server.verbose:
-            super().log_message(format, *args)
-
-    def _send_body(
+    def __init__(
         self,
-        status: int,
-        body: bytes,
+        service: SchedulerService | None = None,
         *,
-        content_type: str = "application/json",
-        extra_headers: dict[str, str] | None = None,
+        allow_shutdown: bool = False,
+        request_timeout: float | None = 300.0,
+        verbose: bool = False,
+        trust_fast_headers: bool = False,
     ) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        if extra_headers:
-            for name, value in extra_headers.items():
-                self.send_header(name, value)
-        if self.close_connection:
-            # An unconsumed request body would desynchronise a keep-alive
-            # connection (its bytes would be parsed as the next request
-            # line) — tell the client and drop the socket after replying.
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+        super().__init__(verbose=verbose)
+        self.service = service or SchedulerService()
+        self.allow_shutdown = allow_shutdown
+        self.request_timeout = request_timeout
+        self.trust_fast_headers = trust_fast_headers
+        self.started = time.monotonic()
 
-    def _send_json(
-        self,
-        status: int,
-        payload: dict,
-        *,
-        extra_headers: dict[str, str] | None = None,
-    ) -> None:
-        self._send_body(
-            status, json.dumps(payload).encode(), extra_headers=extra_headers
-        )
+    def routes(self) -> list[Route]:
+        return [
+            Route("GET", "/healthz", self._handle_healthz),
+            Route("GET", "/metrics", self._handle_metrics),
+            Route("GET", "/metrics/history", self._handle_history),
+            Route("GET", "/traces", self._handle_traces),
+            Route("GET", "/trace/", self._handle_trace, prefix=True),
+            Route("POST", "/schedule", self._handle_schedule),
+            Route("POST", "/replay", self._handle_replay),
+            Route("POST", "/purge", self._handle_purge),
+            Route("POST", "/shutdown", self._handle_shutdown),
+        ]
 
-    def _send_prometheus(self, text: str) -> None:
-        self._send_body(
-            200,
-            text.encode(),
-            content_type="text/plain; version=0.0.4; charset=utf-8",
-        )
-
-    @staticmethod
-    def _query_param(query: str, name: str) -> str | None:
-        values = parse_qs(query).get(name)
-        return values[0] if values else None
-
-    def _checked_content_length(self) -> int | None:
-        """Content-Length, or ``None`` after rejecting an oversized body."""
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length > MAX_BODY_BYTES:
-            self.close_connection = True  # rejected without draining
-            self._send_json(
-                400, {"error": f"request body larger than {MAX_BODY_BYTES} bytes"}
-            )
-            return None
-        return length
-
-    def _read_purge_payload(self) -> dict | None:
-        """Optional ``/purge`` body, or ``None`` when a 400 was already sent."""
-        length = self._checked_content_length()
-        if length is None:
-            return None
-        if length > 0:
-            try:
-                payload = self.rfile.read(length)
-                decoded = json.loads(payload)
-            except (json.JSONDecodeError, ValueError):
-                self._send_json(400, {"error": "purge body is not valid JSON"})
-                return None
-            return decoded if isinstance(decoded, dict) else {}
-        return {}
-
-
-class _Handler(JsonRequestHandler):
-    server: "ServiceHTTPServer"
-
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            raise ModelError("missing or empty request body")
-        if length > MAX_BODY_BYTES:
-            self.close_connection = True  # rejected without draining
-            raise ModelError(f"request body larger than {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ModelError(f"request body is not valid JSON: {exc}") from exc
+    def close(self) -> None:
+        self.service.close()
 
     # ------------------------------------------------------------------ #
-    # routes
+    # GET routes
     # ------------------------------------------------------------------ #
-    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-        url = urlsplit(self.path)
-        if url.path == "/healthz":
-            # Health is the SLO-driven state machine, not bare liveness:
-            # "failing" maps to 503 so load balancers eject the instance,
-            # "degraded" stays 200 (still serving) with reasons attached.
-            health = self.server.service.health()
-            self._send_json(
-                503 if health["state"] == "failing" else 200,
-                {
-                    "status": health["state"],
-                    "uptime_seconds": time.monotonic() - self.server.started,
-                    "reasons": health["reasons"],
-                    "scale_hint": health["scale_hint"],
-                },
-            )
-        elif url.path == "/metrics":
-            metrics = self.server.service.metrics()
-            if self._query_param(url.query, "format") == "prometheus":
-                self._send_prometheus(render_service_metrics(metrics))
-            else:
-                self._send_json(200, metrics)
-        elif url.path == "/metrics/history":
-            self._handle_history(url.query)
-        elif url.path.startswith("/trace/"):
-            self._handle_trace(url.path[len("/trace/") :])
-        elif url.path == "/traces":
-            self._handle_traces(url.query)
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+    def _handle_healthz(self, request: Request) -> Response:
+        # Health is the SLO-driven state machine, not bare liveness:
+        # "failing" maps to 503 so load balancers eject the instance,
+        # "degraded" stays 200 (still serving) with reasons attached.
+        health = self.service.health()
+        return Response.json(
+            503 if health["state"] == "failing" else 200,
+            {
+                "status": health["state"],
+                "uptime_seconds": time.monotonic() - self.started,
+                "reasons": health["reasons"],
+                "scale_hint": health["scale_hint"],
+            },
+        )
 
-    def _handle_history(self, query: str) -> None:
+    def _handle_metrics(self, request: Request) -> Response:
+        metrics = self.service.metrics()
+        if request.query_param("format") == "prometheus":
+            return Response(
+                200,
+                render_service_metrics(metrics).encode(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return Response.json(200, metrics)
+
+    def _handle_history(self, request: Request) -> Response:
         """Downsampled metric time series: ``?window=<s>&step=<s>``."""
-        try:
-            window = self._query_param(query, "window")
-            step = self._query_param(query, "step")
-            window_s = float(window) if window is not None else None
-            step_s = float(step) if step is not None else None
-            if window_s is not None and window_s <= 0:
-                raise ValueError("window must be positive")
-            if step_s is not None and step_s <= 0:
-                raise ValueError("step must be positive")
-        except ValueError as exc:
-            self._send_json(400, {"error": f"bad history query: {exc}"})
-            return
-        self._send_json(
-            200, self.server.service.history_document(window_s, step_s)
-        )
+        window_s, step_s = self.parse_window_query(request)
+        return Response.json(200, self.service.history_document(window_s, step_s))
 
-    def _handle_trace(self, trace_id: str) -> None:
+    def _handle_trace(self, request: Request, trace_id: str) -> Response:
         """One stitched trace document: ``{"trace_id", "components": [...]}``.
 
         A single daemon/shard contributes exactly one component; the
         cluster router overrides this route to concatenate its own
         component with every shard's before responding.
         """
-        trace = self.server.service.traces.get(trace_id)
+        trace = self.service.traces.get(trace_id)
         if trace is None:
-            self._send_json(404, {"error": f"unknown trace {trace_id!r}"})
-            return
-        self._send_json(
+            return Response.json(404, {"error": f"unknown trace {trace_id!r}"})
+        return Response.json(
             200, {"trace_id": trace_id, "components": [trace.as_dict()]}
         )
 
-    def _handle_traces(self, query: str) -> None:
+    def _handle_traces(self, request: Request) -> Response:
         """Newest-first trace summaries; ``?slow_ms=N`` filters by duration."""
-        store = self.server.service.traces
-        slow_param = self._query_param(query, "slow_ms")
-        try:
-            slow_ms = float(slow_param) if slow_param is not None else None
-        except ValueError:
-            self._send_json(400, {"error": f"bad slow_ms {slow_param!r}"})
-            return
-        self._send_json(
+        store = self.service.traces
+        slow_ms = self.parse_slow_ms_query(request)
+        return Response.json(
             200,
             {
                 "traces": store.summaries(slow_ms=slow_ms),
@@ -264,124 +181,89 @@ class _Handler(JsonRequestHandler):
             },
         )
 
-    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
-        if self.path == "/schedule":
-            self._handle_schedule()
-        elif self.path == "/replay":
-            self._handle_replay()
-        elif self.path == "/purge":
-            self._handle_purge()
-        elif self.path == "/shutdown":
-            self._handle_shutdown()
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
-
-    def _try_fast_hit(self, trace: Trace | None) -> bool:
-        """Serve a cache hit keyed by trusted router headers; True if served.
+    # ------------------------------------------------------------------ #
+    # POST routes
+    # ------------------------------------------------------------------ #
+    def _try_fast_hit(self, request: Request, trace: Trace | None) -> Response | None:
+        """Serve a cache hit keyed by trusted router headers, or ``None``.
 
         Only active with ``trust_fast_headers`` (shard workers behind the
         cluster router).  The router already parsed and fingerprinted the
         payload, so the full cache key travels in headers and a hit skips
-        body parsing, fingerprinting and the dispatcher queue entirely.  On a
-        miss nothing is consumed from the request stream — the caller falls
-        through to the normal pipeline.
+        body parsing, fingerprinting and the dispatcher queue entirely.  On
+        a miss the caller falls through to the normal pipeline.
         """
-        if not self.server.trust_fast_headers:
-            return False
-        fingerprint = self.headers.get("X-Repro-Fingerprint")
+        if not self.trust_fast_headers:
+            return None
+        fingerprint = request.headers.get("X-Repro-Fingerprint")
         if not fingerprint:
-            return False
+            return None
         start = time.perf_counter()
         key = (
             fingerprint,
-            self.headers.get("X-Repro-Algorithm", "mrt"),
-            self.headers.get("X-Repro-Params", "{}"),
-            self.headers.get("X-Repro-Validate", "0") == "1",
+            request.headers.get("X-Repro-Algorithm", "mrt"),
+            request.headers.get("X-Repro-Params", "{}"),
+            request.headers.get("X-Repro-Validate", "0") == "1",
         )
-        payload = self.server.service.serve_cached(key)
+        payload = self.service.serve_cached(key)
         if payload is MISS:
-            return False
-        # Drain the (unparsed) body so the keep-alive connection stays usable.
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        if length > MAX_BODY_BYTES:
-            self.close_connection = True  # too big to drain: drop the socket
-        elif length > 0:
-            self.rfile.read(length)
+            return None
         elapsed_ms = (time.perf_counter() - start) * 1e3
-        self.server.service.note_latency(elapsed_ms)
+        self.service.note_latency(elapsed_ms)
         response = dict(payload)  # shallow: "result" is shared and read-only
         response["cache_hit"] = True
         response["elapsed_ms"] = elapsed_ms
         if trace is not None:
             trace.record_span(SPAN_FAST_HIT, start, time.perf_counter())
-        self._finish_schedule(response, trace)
-        return True
+        return self._finish_schedule(response, trace)
 
-    def _finish_schedule(self, response: dict, trace: Trace | None) -> None:
-        """Serialize (under a span), land the trace, send the response.
+    def _finish_schedule(self, payload: dict, trace: Trace | None) -> Response:
+        """Serialize (under a span), land the trace, build the response.
 
-        The trace is stored *before* the bytes hit the wire so a client can
-        turn around and ``GET /trace/<id>`` the id it reads from the
+        The trace is stored *before* the bytes hit the wire (the transport
+        writes only after ``handle`` returns) so a client can turn around
+        and ``GET /trace/<id>`` the id it reads from the
         ``X-Repro-Trace-Id`` response header immediately.  The body itself
         never carries the id — ``/schedule`` responses stay byte-identical
         to the untraced single-daemon output.
         """
         if trace is None:
-            self._send_json(200, response)
-            return
+            return Response.json(200, payload)
         start = time.perf_counter()
-        body = json.dumps(response).encode()
+        body = json.dumps(payload).encode()
         trace.record_span(SPAN_SERIALIZE, start, time.perf_counter())
         trace.finish()
-        service = self.server.service
-        service.traces.add(trace)
-        if trace.duration_ms >= service.traces.slow_ms:
-            self.log_message(
+        self.service.traces.add(trace)
+        if trace.duration_ms >= self.service.traces.slow_ms:
+            self.log(
                 "slow request trace=%s %.1fms", trace.trace_id, trace.duration_ms
             )
-        self._send_body(
-            200, body, extra_headers={"X-Repro-Trace-Id": trace.trace_id}
-        )
+        return Response(200, body, headers={"X-Repro-Trace-Id": trace.trace_id})
 
-    def _handle_schedule(self) -> None:
-        service = self.server.service
+    def _handle_schedule(self, request: Request) -> Response:
+        service = self.service
         trace: Trace | None = None
         if service.tracing:
             # Adopt a propagated id (router→shard hop) or mint a fresh one.
-            trace = service.tracer.start(self.headers.get("X-Repro-Trace-Id"))
-        try:
-            if self._try_fast_hit(trace):
-                return
-            if trace is not None:
-                start = time.perf_counter()
-                payload = self._read_json()
-                parsed = time.perf_counter()
-                trace.record_span(SPAN_PARSE, start, parsed)
-                request = request_from_payload(payload)
-                trace.record_span(SPAN_FINGERPRINT, parsed, time.perf_counter())
-            else:
-                request = request_from_payload(self._read_json())
-            response = service.submit(request, trace=trace).result(
-                timeout=self.server.request_timeout
-            )
-        except ModelError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except ServiceOverloadedError as exc:
-            self._send_json(503, {"error": str(exc)})
-        except ReproError as exc:
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
-        except (TimeoutError, FuturesTimeoutError):
-            # Distinct classes on Python 3.10, aliases from 3.11 on.
-            self._send_json(504, {"error": "scheduling request timed out"})
-        except Exception as exc:  # noqa: BLE001 — never drop the connection
-            # Anything unexpected (a user-registered scheduler raising a
-            # non-ReproError, submit() during shutdown, ...) must still come
-            # back as the documented 500 instead of a reset socket.
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            trace = service.tracer.start(request.headers.get("X-Repro-Trace-Id"))
+        fast = self._try_fast_hit(request, trace)
+        if fast is not None:
+            return fast
+        if trace is not None:
+            start = time.perf_counter()
+            payload = self.read_json_body(request)
+            parsed = time.perf_counter()
+            trace.record_span(SPAN_PARSE, start, parsed)
+            sched_request = request_from_payload(payload)
+            trace.record_span(SPAN_FINGERPRINT, parsed, time.perf_counter())
         else:
-            self._finish_schedule(response, trace)
+            sched_request = request_from_payload(self.read_json_body(request))
+        response = service.submit(sched_request, trace=trace).result(
+            timeout=self.request_timeout
+        )
+        return self._finish_schedule(response, trace)
 
-    def _handle_replay(self) -> None:
+    def _handle_replay(self, request: Request) -> Response:
         """Online replay: epoch-reschedule an arrival trace, stream the metrics.
 
         Replays run synchronously on the handler thread (one replay is a
@@ -395,25 +277,17 @@ class _Handler(JsonRequestHandler):
         from ..online.replay import compute_replay_response, replay_from_payload
 
         start = time.perf_counter()
-        try:
-            trace, rescheduler, validate = replay_from_payload(self._read_json())
-            response = compute_replay_response(trace, rescheduler, validate)
-        except ModelError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # noqa: BLE001 — never drop the connection
-            # ReproError and unexpected crashes alike map to the documented
-            # 500 with the exception type named.
-            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
-        else:
-            response["elapsed_ms"] = (time.perf_counter() - start) * 1e3
-            self._send_json(200, response)
+        trace, rescheduler, validate = replay_from_payload(
+            self.read_json_body(request)
+        )
+        response = compute_replay_response(trace, rescheduler, validate)
+        response["elapsed_ms"] = (time.perf_counter() - start) * 1e3
+        return Response.json(200, response)
 
-    def _handle_purge(self) -> None:
+    def _handle_purge(self, request: Request) -> Response:
         """Explicit eviction message: drop expired entries (or everything)."""
-        payload = self._read_purge_payload()
-        if payload is None:
-            return
-        cache = self.server.service.cache
+        payload = self.read_optional_dict_body(request, context="purge")
+        cache = self.service.cache
         cleared = 0
         if payload.get("all"):
             cleared = len(cache)
@@ -421,25 +295,33 @@ class _Handler(JsonRequestHandler):
             expired = 0
         else:
             expired = cache.purge_expired()
-        self._send_json(
+        return Response.json(
             200,
             {"expired_purged": expired, "cleared": cleared, "size": len(cache)},
         )
 
-    def _handle_shutdown(self) -> None:
-        if not self.server.allow_shutdown:
-            self._send_json(403, {"error": "shutdown endpoint disabled"})
-            return
-        self._send_json(200, {"status": "shutting down"})
-        # ``shutdown`` blocks until ``serve_forever`` exits, so it must run
-        # off this handler thread (which still has to finish the response).
-        threading.Thread(target=self.server.shutdown, daemon=True).start()
+    def _handle_shutdown(self, request: Request) -> Response:
+        if not self.allow_shutdown:
+            return Response.json(403, {"error": "shutdown endpoint disabled"})
+        # The stop signal fires only after the response bytes are on the
+        # wire (the transport's shutdown hook is itself non-blocking).
+        return Response.json(
+            200, {"status": "shutting down"}, after_send=self._request_stop
+        )
+
+    def _request_stop(self) -> None:
+        if self.transport_shutdown is not None:
+            self.transport_shutdown()
 
 
-class ServiceHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server bound to one :class:`SchedulerService`."""
+class ServiceHTTPServer(ThreadedTransport):
+    """Threaded transport bound to one :class:`SchedulerService`.
 
-    daemon_threads = True
+    Compatibility frontend: the constructor keeps the pre-split signature
+    (address + service + keyword policy) and the service-level attributes
+    (``service``, ``allow_shutdown``, ...) read through to the app, so
+    existing callers and tests see no difference.
+    """
 
     def __init__(
         self,
@@ -451,60 +333,91 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         verbose: bool = False,
         trust_fast_headers: bool = False,
     ) -> None:
-        super().__init__(address, _Handler)
-        self.service = service
-        self.allow_shutdown = allow_shutdown
-        self.request_timeout = request_timeout
-        self.verbose = verbose
-        self.trust_fast_headers = trust_fast_headers
-        self.started = time.monotonic()
-        self._serve_started = False
-
-    def serve_forever(self, *args, **kwargs) -> None:
-        self._serve_started = True
-        super().serve_forever(*args, **kwargs)
+        app = DaemonApp(
+            service,
+            allow_shutdown=allow_shutdown,
+            request_timeout=request_timeout,
+            verbose=verbose,
+            trust_fast_headers=trust_fast_headers,
+        )
+        super().__init__(address, app, verbose=verbose)
 
     @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
+    def service(self) -> SchedulerService:
+        return self.app.service
 
-    def close(self) -> None:
-        """Full teardown: stop serving, release the socket, close the service.
+    @property
+    def allow_shutdown(self) -> bool:
+        return self.app.allow_shutdown
 
-        Safe in every lifecycle state: ``shutdown`` is only invoked when the
-        serve loop has actually been entered (it would block forever on a
-        server whose ``serve_forever`` never ran), and it returns immediately
-        when the loop has already exited.
-        """
-        if self._serve_started:
-            self.shutdown()
-        self.server_close()
-        self.service.close()
+    @property
+    def request_timeout(self) -> float | None:
+        return self.app.request_timeout
+
+    @property
+    def trust_fast_headers(self) -> bool:
+        return self.app.trust_fast_headers
+
+    @property
+    def started(self) -> float:
+        return self.app.started
+
+
+class AsyncServiceHTTPServer(AsyncioTransport):
+    """Asyncio transport bound to one :class:`SchedulerService`.
+
+    Same lifecycle and attribute surface as :class:`ServiceHTTPServer`, so
+    ``make_server(..., transport="asyncio")`` is a drop-in swap.
+    """
+
+    @property
+    def service(self) -> SchedulerService:
+        return self.app.service
 
 
 def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     service: SchedulerService | None = None,
+    *,
+    transport: str = "threaded",
     **server_kwargs,
-) -> ServiceHTTPServer:
-    """Bind a service server (``port=0`` picks an ephemeral port)."""
-    return ServiceHTTPServer((host, port), service or SchedulerService(), **server_kwargs)
+):
+    """Bind a service server (``port=0`` picks an ephemeral port).
+
+    ``transport`` selects the frontend ("threaded" or "asyncio"); both
+    expose the same lifecycle (``url``, ``serve_forever``, ``close``) and
+    serve byte-identical responses.
+    """
+    if transport == "threaded":
+        return ServiceHTTPServer(
+            (host, port), service or SchedulerService(), **server_kwargs
+        )
+    if transport == "asyncio":
+        verbose = server_kwargs.get("verbose", False)
+        app = DaemonApp(service or SchedulerService(), **server_kwargs)
+        return AsyncServiceHTTPServer((host, port), app, verbose=verbose)
+    from .http import TRANSPORTS
+
+    raise ValueError(
+        f"unknown transport {transport!r} (choose from {', '.join(TRANSPORTS)})"
+    )
 
 
 def start_background_server(
     host: str = "127.0.0.1",
     port: int = 0,
     service: SchedulerService | None = None,
+    *,
+    transport: str = "threaded",
     **server_kwargs,
-) -> tuple[ServiceHTTPServer, threading.Thread]:
+):
     """Start a server on a daemon thread; returns ``(server, thread)``.
 
     Used by the self-hosted load-test mode, the CLI tests and the benchmark.
     Stop it with ``server.close()``.
     """
-    server = make_server(host, port, service, **server_kwargs)
+    server = make_server(host, port, service, transport=transport, **server_kwargs)
     thread = threading.Thread(
         target=server.serve_forever, name="scheduler-service-http", daemon=True
     )

@@ -137,14 +137,18 @@ class TestRoutingInfo:
 # --------------------------------------------------------------------------- #
 # end-to-end cluster (thread backend: identical wire behaviour, fast startup)
 # --------------------------------------------------------------------------- #
-@pytest.fixture(scope="class")
-def cluster():
+# Transport matrix: the end-to-end suite runs once per transport, with the
+# router *and* every shard on that frontend — wire behaviour must be
+# independent of which transport serves the sockets.
+@pytest.fixture(scope="class", params=["threaded", "asyncio"])
+def cluster(request):
     handle = start_cluster(
         3,
         backend="thread",
-        spec=ShardSpec(workers=2),
+        spec=ShardSpec(workers=2, transport=request.param),
         respawn=False,
         allow_shutdown=False,
+        transport=request.param,
     )
     yield handle
     handle.close()

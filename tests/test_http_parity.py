@@ -1,0 +1,193 @@
+"""Wire-level parity audits across transports and across apps.
+
+Two invariants of the transport/app split, checked over raw sockets:
+
+* **Cross-transport identity** — the same request against a threaded and an
+  asyncio daemon produces the same status, the same body bytes and the same
+  headers (modulo ``Date`` and the transport's ``Server`` tag, which name
+  the implementation by design).
+* **Daemon/router parity** — every shared error path (unknown path, bad
+  query, bad body, disabled shutdown, ...) answers identically from the
+  single-process daemon and the cluster router, because both are the same
+  ``App`` machinery.  This pins the fix for the historical drift where the
+  two frontends disagreed on ``Content-Length: 0`` and duplicated headers
+  on error responses.
+
+Every response is additionally audited structurally: header names unique,
+``Content-Length`` present and equal to the body length.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.service import start_background_server
+from repro.service.cluster import ShardSpec, start_cluster
+
+SCHEDULE_BODY = json.dumps(
+    {
+        "algorithm": "mrt",
+        "generate": {"family": "uniform", "tasks": 4, "procs": 2, "seed": 0},
+    }
+).encode()
+
+#: (name, method, target, body) — every deterministic shared path: the
+#: error surface of both apps plus the disabled-shutdown 403.
+ERROR_REQUESTS = [
+    ("unknown-path", "GET", "/nope?x=1", b""),
+    ("unknown-trace", "GET", "/trace/deadbeef", b""),
+    ("bad-history-query", "GET", "/metrics/history?window=abc", b""),
+    ("bad-slow-ms", "GET", "/traces?slow_ms=abc", b""),
+    ("empty-schedule", "POST", "/schedule", b""),
+    ("malformed-schedule", "POST", "/schedule", b'{"nonsense": true}'),
+    ("schedule-not-json", "POST", "/schedule", b"not json at all"),
+    ("purge-not-json", "POST", "/purge", b"not json"),
+    ("shutdown-disabled", "POST", "/shutdown", b"{}"),
+    ("unknown-method", "PUT", "/healthz", b""),
+]
+
+#: Headers that legitimately differ run-to-run or transport-to-transport.
+VOLATILE_HEADERS = frozenset({"date", "server", "x-repro-trace-id"})
+
+
+def exchange(address, method: str, target: str, body: bytes):
+    """One request on a fresh connection; returns (status, headers, body).
+
+    ``headers`` is the ordered list of ``(lowercased-name, value)`` pairs as
+    they appeared on the wire — duplicates preserved, so the structural
+    audit can see them.
+    """
+    head = f"{method} {target} HTTP/1.1\r\nHost: t\r\n"
+    if body or method in ("POST", "PUT"):
+        head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+    with socket.create_connection(address, timeout=30) as conn:
+        conn.sendall(head.encode() + b"\r\n" + body)
+        rfile = conn.makefile("rb")
+        status_line = rfile.readline()
+        assert status_line, "server closed the connection before responding"
+        status = int(status_line.split()[1])
+        headers: list[tuple[str, str]] = []
+        while True:
+            line = rfile.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode().partition(":")
+            headers.append((name.strip().lower(), value.strip()))
+        length = next(
+            (int(v) for n, v in headers if n == "content-length"), 0
+        )
+        payload = rfile.read(length)
+    return status, headers, payload
+
+
+def audit_structure(name, status, headers, payload):
+    """Every response: unique header names, honest Content-Length."""
+    names = [n for n, _ in headers]
+    assert len(names) == len(set(names)), f"{name}: duplicate headers {names}"
+    lengths = [v for n, v in headers if n == "content-length"]
+    assert lengths, f"{name}: response has no Content-Length"
+    assert int(lengths[0]) == len(payload), f"{name}: Content-Length lies"
+
+
+def comparable(headers):
+    return sorted((n, v) for n, v in headers if n not in VOLATILE_HEADERS)
+
+
+@pytest.fixture(scope="class")
+def daemons():
+    servers = {}
+    for transport in ("threaded", "asyncio"):
+        servers[transport], _ = start_background_server(
+            allow_shutdown=False, transport=transport
+        )
+    yield servers
+    for server in servers.values():
+        server.close()
+
+
+class TestCrossTransportIdentity:
+    @pytest.mark.parametrize(
+        "name,method,target,body",
+        ERROR_REQUESTS,
+        ids=[r[0] for r in ERROR_REQUESTS],
+    )
+    def test_error_paths_byte_identical(self, daemons, name, method, target, body):
+        results = {}
+        for transport, server in daemons.items():
+            status, headers, payload = exchange(
+                server.server_address[:2], method, target, body
+            )
+            audit_structure(f"{transport}:{name}", status, headers, payload)
+            results[transport] = (status, comparable(headers), payload)
+        assert results["threaded"] == results["asyncio"]
+
+    def test_schedule_identical_modulo_elapsed(self, daemons):
+        results = {}
+        for transport, server in daemons.items():
+            status, headers, payload = exchange(
+                server.server_address[:2], "POST", "/schedule", SCHEDULE_BODY
+            )
+            audit_structure(f"{transport}:schedule", status, headers, payload)
+            document = json.loads(payload)
+            document.pop("elapsed_ms")
+            # The trace id value is random per request; its presence is not.
+            assert any(n == "x-repro-trace-id" for n, _ in headers)
+            # Content-Length tracks the digit count of the elapsed_ms we
+            # just popped; audit_structure already pinned it to the body.
+            clean = [(n, v) for n, v in headers if n != "content-length"]
+            results[transport] = (status, comparable(clean), document)
+        assert results["threaded"] == results["asyncio"]
+        assert results["threaded"][0] == 200
+
+
+@pytest.fixture(scope="class")
+def daemon_and_router():
+    server, _ = start_background_server(allow_shutdown=False)
+    cluster = start_cluster(
+        1,
+        backend="thread",
+        spec=ShardSpec(workers=2),
+        respawn=False,
+        allow_shutdown=False,
+    )
+    yield server, cluster
+    server.close()
+    cluster.close()
+
+
+class TestDaemonRouterParity:
+    @pytest.mark.parametrize(
+        "name,method,target,body",
+        ERROR_REQUESTS,
+        ids=[r[0] for r in ERROR_REQUESTS],
+    )
+    def test_error_paths_identical(self, daemon_and_router, name, method, target, body):
+        server, cluster = daemon_and_router
+        results = {}
+        for which, address in (
+            ("daemon", server.server_address[:2]),
+            ("router", cluster.server.server_address[:2]),
+        ):
+            status, headers, payload = exchange(address, method, target, body)
+            audit_structure(f"{which}:{name}", status, headers, payload)
+            results[which] = (status, comparable(headers), payload)
+        assert results["daemon"] == results["router"]
+
+    def test_schedule_success_identical_modulo_elapsed(self, daemon_and_router):
+        server, cluster = daemon_and_router
+        results = {}
+        for which, address in (
+            ("daemon", server.server_address[:2]),
+            ("router", cluster.server.server_address[:2]),
+        ):
+            status, headers, payload = exchange(
+                address, "POST", "/schedule", SCHEDULE_BODY
+            )
+            audit_structure(f"{which}:schedule", status, headers, payload)
+            document = json.loads(payload)
+            document.pop("elapsed_ms")
+            results[which] = (status, document)
+        assert results["daemon"] == results["router"]

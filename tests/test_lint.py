@@ -29,7 +29,9 @@ from repro.lint import (
     ruleset_hash,
 )
 
-ALL_RULES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
+ALL_RULES = (
+    "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008",
+)
 
 
 def lint_files(tmp_path: Path, files: dict[str, str], *, rules=None, baseline=None):
@@ -307,6 +309,120 @@ class TestRL005:
                         self._send_json(500, {"error": str(exc)})
         """
         result = lint_files(tmp_path, {"service/h.py": code}, rules=["RL005"])
+        assert result.new == []
+
+    def test_response_json_constructor_recognised(self, tmp_path):
+        # Version 2: the transport-split Response constructors count as
+        # status-sending calls, same as the legacy _send_json helper.
+        code = """
+            class App:
+                def handle(self):
+                    try:
+                        self.work()
+                    except Exception as exc:
+                        return Response.json(500, {"error": str(exc)})
+        """
+        result = lint_files(tmp_path, {"service/h.py": code}, rules=["RL005"])
+        assert len(result.new) == 1
+        assert "bare 500" in result.new[0].message
+
+    def test_response_with_status_keyword_recognised(self, tmp_path):
+        code = """
+            class App:
+                def handle(self):
+                    try:
+                        self.work()
+                    except ModelError as exc:
+                        return Response(status=502, body=str(exc).encode())
+        """
+        result = lint_files(tmp_path, {"service/h.py": code}, rules=["RL005"])
+        assert len(result.new) == 1
+        assert "must map to 4xx" in result.new[0].message
+
+
+# ---------------------------------------------------------------------- #
+# RL008 error mapping centralised in the shared mapper
+# ---------------------------------------------------------------------- #
+class TestRL008:
+    def test_inline_model_error_status_fires(self, tmp_path):
+        code = """
+            class App:
+                def handle(self, request):
+                    try:
+                        return self.dispatch(request)
+                    except ModelError as exc:
+                        return Response.json(400, {"error": str(exc)})
+        """
+        result = lint_files(tmp_path, {"service/app.py": code}, rules=["RL008"])
+        assert len(result.new) == 1
+        assert "map_exception" in result.new[0].message
+
+    def test_broad_handler_with_constant_status_fires(self, tmp_path):
+        code = """
+            class App:
+                def handle(self, request):
+                    try:
+                        return self.dispatch(request)
+                    except Exception as exc:
+                        return Response.json(500, {"error": str(exc)})
+        """
+        result = lint_files(tmp_path, {"service/app.py": code}, rules=["RL008"])
+        assert len(result.new) == 1
+
+    def test_deferring_to_shared_mapper_is_clean(self, tmp_path):
+        code = """
+            class App:
+                def handle(self, request):
+                    try:
+                        return self.dispatch(request)
+                    except Exception as exc:
+                        return map_exception(exc)
+        """
+        result = lint_files(tmp_path, {"service/app.py": code}, rules=["RL008"])
+        assert result.new == []
+
+    def test_mapper_module_itself_is_exempt(self, tmp_path):
+        code = """
+            def map_exception(exc):
+                try:
+                    raise exc
+                except ModelError:
+                    return Response.json(400, {"error": str(exc)})
+                except Exception:
+                    return Response.json(500, {"error": str(exc)})
+        """
+        result = lint_files(
+            tmp_path, {"service/http/errors.py": code}, rules=["RL008"]
+        )
+        assert result.new == []
+
+    def test_routing_errors_outside_mapped_set_are_clean(self, tmp_path):
+        # The router's "shard unavailable" 503s are availability policy,
+        # not exception->status mapping: ClusterError/OSError stay legal.
+        code = """
+            class Router:
+                def forward(self, request):
+                    try:
+                        return self.forward_once(request)
+                    except ClusterError as exc:
+                        return Response.json(503, {"error": str(exc)})
+                    except OSError:
+                        return Response.json(503, {"error": "shard unavailable"})
+        """
+        result = lint_files(tmp_path, {"service/router.py": code}, rules=["RL008"])
+        assert result.new == []
+
+    def test_non_constant_status_is_clean(self, tmp_path):
+        code = """
+            class App:
+                def handle(self, request):
+                    try:
+                        return self.dispatch(request)
+                    except Exception as exc:
+                        status, payload = self.mapper(exc)
+                        return Response.json(status, payload)
+        """
+        result = lint_files(tmp_path, {"service/app.py": code}, rules=["RL008"])
         assert result.new == []
 
 

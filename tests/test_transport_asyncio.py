@@ -1,0 +1,205 @@
+"""Asyncio-transport-specific tests (repro.service.http.aio).
+
+The shared app-layer behaviour is covered by the transport matrix in
+test_service.py / test_cluster.py; this file exercises what only the
+asyncio frontend owns: the hand-rolled HTTP/1.1 parser (malformed input,
+header limits, chunked rejection), keep-alive and pipelining on one
+connection, slow clients dribbling bytes, oversized-body rejection before
+the body arrives, high-concurrency connection handling and the /shutdown
+lifecycle.  Everything talks raw sockets — the stdlib client would paper
+over exactly the framing behaviour under test.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.service import start_background_server
+from repro.service.http.app import MAX_BODY_BYTES
+from repro.service.loadtest import run_soak
+
+SCHEDULE_BODY = json.dumps(
+    {
+        "algorithm": "mrt",
+        "generate": {"family": "uniform", "tasks": 4, "procs": 2, "seed": 0},
+    }
+).encode()
+
+
+def request_bytes(method: str, target: str, body: bytes = b"", extra: str = "") -> bytes:
+    head = f"{method} {target} HTTP/1.1\r\nHost: t\r\n{extra}"
+    if body or method == "POST":
+        head += f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n"
+    return head.encode() + b"\r\n" + body
+
+
+def read_response(rfile) -> tuple[int, dict[str, str], bytes]:
+    status_line = rfile.readline()
+    assert status_line, "server closed the connection before responding"
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = rfile.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = rfile.read(int(headers.get("content-length", 0)))
+    return status, headers, body
+
+
+@pytest.fixture(scope="class")
+def aserver():
+    server, _ = start_background_server(allow_shutdown=False, transport="asyncio")
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def sock(aserver):
+    conn = socket.create_connection(aserver.server_address[:2], timeout=30)
+    yield conn
+    conn.close()
+
+
+class TestAsyncioTransport:
+    def test_keep_alive_hundred_requests_on_one_connection(self, sock):
+        rfile = sock.makefile("rb")
+        for _ in range(100):
+            sock.sendall(request_bytes("GET", "/healthz"))
+            status, headers, body = read_response(rfile)
+            assert status == 200
+            assert headers.get("connection") != "close"
+            assert json.loads(body)["status"] == "ok"
+
+    def test_pipelined_requests_answered_in_order(self, sock):
+        # Three requests in one TCP segment: the per-connection loop must
+        # answer them sequentially, never interleaving responses.
+        sock.sendall(
+            request_bytes("GET", "/healthz")
+            + request_bytes("POST", "/schedule", SCHEDULE_BODY)
+            + request_bytes("GET", "/nope?x=1")
+        )
+        rfile = sock.makefile("rb")
+        status, _, body = read_response(rfile)
+        assert status == 200 and json.loads(body)["status"] == "ok"
+        status, _, body = read_response(rfile)
+        assert status == 200 and "result" in json.loads(body)
+        status, _, body = read_response(rfile)
+        assert status == 404
+        assert json.loads(body)["error"] == "unknown path '/nope?x=1'"
+
+    def test_leading_blank_lines_before_request_are_skipped(self, sock):
+        # RFC 9112 §2.2: a server SHOULD ignore CRLFs ahead of the
+        # request-line (trailing bytes of a sloppy previous request).
+        sock.sendall(b"\r\n\r\n" + request_bytes("GET", "/healthz"))
+        status, _, _ = read_response(sock.makefile("rb"))
+        assert status == 200
+
+    def test_malformed_request_line_is_400_and_closes(self, sock):
+        sock.sendall(b"GARBAGE\r\n\r\n")
+        rfile = sock.makefile("rb")
+        status, headers, body = read_response(rfile)
+        assert status == 400
+        assert headers["connection"] == "close"
+        assert "error" in json.loads(body)
+        assert rfile.read() == b""  # server hung up
+
+    def test_malformed_header_line_is_400(self, sock):
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nBad Header: x\r\n\r\n")
+        status, _, body = read_response(sock.makefile("rb"))
+        assert status == 400
+        assert "malformed header line" in json.loads(body)["error"]
+
+    def test_bad_content_length_is_400(self, sock):
+        sock.sendall(b"POST /schedule HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        status, _, body = read_response(sock.makefile("rb"))
+        assert status == 400
+        assert "Content-Length" in json.loads(body)["error"]
+
+    def test_chunked_transfer_encoding_is_400(self, sock):
+        sock.sendall(
+            b"POST /schedule HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+        status, _, body = read_response(sock.makefile("rb"))
+        assert status == 400
+        assert "chunked" in json.loads(body)["error"]
+
+    def test_header_flood_is_400(self, sock):
+        flood = "".join(f"X-H{i}: v\r\n" for i in range(300))
+        sock.sendall(f"GET /healthz HTTP/1.1\r\n{flood}\r\n".encode())
+        status, _, body = read_response(sock.makefile("rb"))
+        assert status == 400
+        assert "header lines" in json.loads(body)["error"]
+
+    def test_oversized_body_rejected_before_reading_it(self, sock):
+        # Only the headers are sent: the 400 must arrive without the server
+        # waiting for (or reading) the advertised multi-megabyte body.
+        sock.sendall(
+            b"POST /schedule HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        status, headers, body = read_response(sock.makefile("rb"))
+        assert status == 400
+        assert headers["connection"] == "close"
+        assert json.loads(body)["error"] == (
+            f"request body larger than {MAX_BODY_BYTES} bytes"
+        )
+
+    def test_slow_client_dribbling_bytes_still_served(self, sock):
+        # A request trickled in 8-byte chunks must parse identically:
+        # readline/readexactly block per fragment, nothing times out or
+        # misframes.
+        raw = request_bytes("POST", "/schedule", SCHEDULE_BODY)
+        for i in range(0, len(raw), 8):
+            sock.sendall(raw[i : i + 8])
+            time.sleep(0.002)
+        status, _, body = read_response(sock.makefile("rb"))
+        assert status == 200
+        assert "result" in json.loads(body)
+
+    def test_concurrent_connection_soak(self, aserver):
+        # Warm the one payload, then hold 64 concurrent keep-alive
+        # connections firing it; every exchange must complete cleanly.
+        import http.client
+
+        host, port = aserver.server_address[:2]
+        conn = http.client.HTTPConnection(host, port)
+        conn.request(
+            "POST",
+            "/schedule",
+            body=SCHEDULE_BODY,
+            headers={"Content-Type": "application/json"},
+        )
+        assert conn.getresponse().read()
+        conn.close()
+        report = run_soak(
+            aserver.url,
+            [SCHEDULE_BODY],
+            connections=64,
+            requests_per_connection=5,
+        )
+        assert report["errors"] == 0
+        assert report["ok"] + report["rejected"] == 64 * 5
+        assert report["ok"] > 0
+
+    def test_shutdown_endpoint_stops_the_event_loop(self):
+        server, thread = start_background_server(
+            allow_shutdown=True, transport="asyncio"
+        )
+        try:
+            with socket.create_connection(
+                server.server_address[:2], timeout=30
+            ) as conn:
+                conn.sendall(request_bytes("POST", "/shutdown", b"{}"))
+                status, _, body = read_response(conn.makefile("rb"))
+            assert status == 200
+            assert json.loads(body) == {"status": "shutting down"}
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            server.close()
