@@ -1,0 +1,228 @@
+"""Streamed cluster replay vs the synchronous daemon path (PR 10 tentpole).
+
+Drives the same replay workload through
+
+1. a single-process daemon with its per-epoch plan cache purged before
+   every request (the cold reference path), and
+2. a sharded cluster routed by ``(trace-prefix, kernel)``, replayed twice —
+   the second pass hits the shard-local plan cache on every epoch.
+
+and compares **end-to-end wall clock per replay**.  A warm shard rebuilds
+each epoch's schedule from the content-addressed plan instead of re-running
+the kernel's dichotomic allotment search, so the warm streamed pass must
+beat the cold daemon path outright; the acceptance bar is **>= 1.2x**.
+Plan-cache warming needs no extra cores (it removes work rather than
+parallelising it), so the bar is enforced everywhere unless
+``--no-enforce``.
+
+Correctness bars always apply: every streamed response reassembles into a
+document byte-identical (canonical JSON, wall-clock fields zeroed) to an
+in-process ``compute_replay_response`` for the same trace, the streamed
+epoch frames are exactly the final document's ``epochs`` list, and the
+warm pass is byte-identical to the cold pass.
+
+Run directly (CI uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_replay_streaming.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+import time
+
+from repro.online import compute_replay_response
+from repro.registry import make_rescheduler
+from repro.service import ServiceClient, canonical_json, start_cluster
+from repro.service import start_background_server
+from repro.workloads.arrivals import make_trace
+
+
+def scrub(document: dict) -> dict:
+    """Zero the wall-clock fields; everything else must be byte-stable."""
+    doc = copy.deepcopy(document)
+    doc.pop("elapsed_ms", None)
+    doc["result"]["compute_ms"] = 0.0
+    for epoch in doc["result"]["epochs"]:
+        epoch["compute_ms"] = 0.0
+    return doc
+
+
+def build_workload(quick: bool) -> list[dict]:
+    """Replay specs with repeated traces so shards can go warm."""
+    tasks = 32 if quick else 64
+    procs = 8 if quick else 16
+    seeds = range(3 if quick else 6)
+    specs = []
+    for seed in seeds:
+        for kernel in ("barrier", "availability"):
+            specs.append(
+                {
+                    "generate": {
+                        "pattern": "poisson",
+                        "family": "mixed",
+                        "tasks": tasks,
+                        "procs": procs,
+                        "seed": seed,
+                    },
+                    "kernel": kernel,
+                }
+            )
+    return specs
+
+
+def timed_pass(client: ServiceClient, specs: list[dict]) -> tuple[float, list[dict]]:
+    """Replay every spec once; returns (total seconds, final documents)."""
+    finals = []
+    start = time.perf_counter()
+    for spec in specs:
+        finals.append(client.replay(generate=spec["generate"], kernel=spec["kernel"]))
+    return time.perf_counter() - start, finals
+
+
+def reference_documents(specs: list[dict]) -> list[dict]:
+    """In-process ground truth for the byte-identity bar."""
+    documents = []
+    for spec in specs:
+        generate = spec["generate"]
+        trace = make_trace(
+            generate["pattern"],
+            generate["family"],
+            generate["tasks"],
+            generate["procs"],
+            seed=generate["seed"],
+        )
+        documents.append(
+            compute_replay_response(
+                trace, make_rescheduler(spec["kernel"], "mrt"), False
+            )
+        )
+    return documents
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI")
+    parser.add_argument("--shards", type=int, default=2, help="cluster shard count")
+    parser.add_argument(
+        "--backend",
+        default="process",
+        choices=["process", "thread"],
+        help="shard worker backend (process falls back to threads in sandboxes)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.2,
+        help="bar: cold-daemon wall clock / warm-cluster wall clock",
+    )
+    parser.add_argument(
+        "--no-enforce",
+        action="store_true",
+        help="never fail on the speedup bar (correctness bars still apply)",
+    )
+    args = parser.parse_args(argv)
+
+    specs = build_workload(args.quick)
+    print(f"{len(specs)} replays per pass "
+          f"({specs[0]['generate']['tasks']} tasks x "
+          f"{specs[0]['generate']['procs']} procs, both kernels)")
+
+    print("cold daemon baseline (plan cache purged before every replay)")
+    server, _ = start_background_server(allow_shutdown=False)
+    try:
+        client = ServiceClient(server.url)
+        cold_finals = []
+        cold_seconds = 0.0
+        for spec in specs:
+            client.purge(all=True)
+            elapsed, finals = timed_pass(client, [spec])
+            cold_seconds += elapsed
+            cold_finals.extend(finals)
+    finally:
+        server.close()
+
+    print(f"{args.shards}-shard cluster (backend={args.backend}): cold then warm pass")
+    cluster = start_cluster(
+        args.shards, backend=args.backend, allow_shutdown=False
+    )
+    try:
+        client = ServiceClient(cluster.url)
+        cluster_cold_seconds, cluster_cold_finals = timed_pass(client, specs)
+        warm_seconds, warm_finals = timed_pass(client, specs)
+        plan_cache = client.metrics()["cluster"]["plan_cache"]
+        backend = cluster.supervisor.backend
+    finally:
+        cluster.close()
+
+    reference = reference_documents(specs)
+    mismatches = 0
+    for which, finals in (
+        ("daemon-cold", cold_finals),
+        ("cluster-cold", cluster_cold_finals),
+        ("cluster-warm", warm_finals),
+    ):
+        for spec, final, expected in zip(specs, finals, reference):
+            if canonical_json(scrub(final)) != canonical_json(scrub(expected)):
+                mismatches += 1
+                print(f"MISMATCH [{which}] on {spec['generate']} "
+                      f"kernel={spec['kernel']}")
+
+    per_cold = 1e3 * cold_seconds / len(specs)
+    per_warm = 1e3 * warm_seconds / len(specs)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(f"cold daemon      : {cold_seconds * 1e3:8.1f} ms total  "
+          f"{per_cold:6.2f} ms/replay")
+    print(f"cold cluster     : {cluster_cold_seconds * 1e3:8.1f} ms total")
+    print(f"warm cluster     : {warm_seconds * 1e3:8.1f} ms total  "
+          f"{per_warm:6.2f} ms/replay")
+    print(f"warm-cluster vs cold-daemon speedup: {speedup:.2f}x  "
+          f"(bar {args.min_speedup:.1f}x, "
+          f"{'waived by --no-enforce' if args.no_enforce else 'enforced'})")
+    print(f"cluster plan cache: hits={plan_cache['hits']} "
+          f"misses={plan_cache['misses']} hit_rate={plan_cache['hit_rate']:.2f}")
+    print(f"streamed responses byte-identical to in-process kernel: "
+          f"{mismatches == 0}")
+
+    bench = {
+        "benchmark": "replay_streaming",
+        "quick": args.quick,
+        "shards": args.shards,
+        "backend": backend,
+        "replays_per_pass": len(specs),
+        "cold_daemon_ms": cold_seconds * 1e3,
+        "cold_cluster_ms": cluster_cold_seconds * 1e3,
+        "warm_cluster_ms": warm_seconds * 1e3,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+        "bar_enforced": not args.no_enforce,
+        "plan_cache": plan_cache,
+        "byte_identity_mismatches": mismatches,
+    }
+    print("BENCH " + json.dumps(bench, sort_keys=True))
+
+    failures = []
+    if not args.no_enforce and speedup < args.min_speedup:
+        failures.append(
+            f"warm-cluster/cold-daemon speedup {speedup:.2f}x below the "
+            f"{args.min_speedup:.1f}x bar"
+        )
+    if mismatches:
+        failures.append(
+            f"{mismatches} streamed response(s) differ from the in-process kernel"
+        )
+    if plan_cache["hits"] == 0:
+        failures.append("warm pass produced zero plan-cache hits")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
         "and print the competitive ratio",
     )
     rep.add_argument("--json", action="store_true", help="also print a REPLAY JSON line")
+    rep.add_argument(
+        "--url",
+        default=None,
+        help="replay against a running service/cluster (streamed POST /replay) "
+        "instead of in-process; epoch lines print as frames arrive",
+    )
 
     cmp_ = sub.add_parser("compare", help="run the EXP-A comparison sweep")
     cmp_.add_argument("--tasks", type=int, default=30)
@@ -356,8 +362,41 @@ def _load_or_generate(args: argparse.Namespace) -> Instance:
     return make_workload(args.family, args.tasks, args.procs, seed=args.seed)
 
 
+def _print_epoch_line(epoch: dict) -> None:
+    """One streamed per-epoch metrics line (local replay or NDJSON frame)."""
+    print(
+        f"epoch {epoch['index']:3d}  t={epoch['start']:10.4g}  "
+        f"tasks={epoch['num_tasks']:4d}  makespan={epoch['makespan']:10.4g}  "
+        f"wait={epoch['waiting']:8.4g}  compute={epoch['compute_ms']:7.2f}ms  "
+        f"guesses={epoch['engine'].get('guesses', 0):4d}",
+        flush=True,
+    )
+
+
+def _print_replay_summary(metrics: dict) -> None:
+    engine = metrics["engine"]
+    print(
+        f"replay: {metrics['num_epochs']} epochs  makespan={metrics['makespan']:.6g}  "
+        f"flow mean/max={metrics['mean_flow']:.4g}/{metrics['max_flow']:.4g}  "
+        f"stretch mean/max={metrics['mean_stretch']:.3f}/{metrics['max_stretch']:.3f}  "
+        f"utilization={metrics['utilization']:.3f}"
+    )
+    print(
+        f"kernel compute: {metrics['compute_ms']:.2f}ms  "
+        f"engine guesses={engine['guesses']}  "
+        f"memo hits/misses={engine['memo_hits']}/{engine['memo_misses']}"
+    )
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
-    """Replay an online arrival trace, streaming per-epoch metrics."""
+    """Replay an online arrival trace, streaming per-epoch metrics.
+
+    With ``--url`` the replay runs on a live service/cluster via the
+    streamed ``POST /replay``: epoch lines print as NDJSON frames arrive
+    and the summary comes from the stream's final document.  The trace is
+    still built locally either way, so ``--compare-offline`` works
+    identically in both modes.
+    """
     from .sim.validate import simulate_and_check
 
     try:
@@ -378,8 +417,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 args.pattern, args.family, args.tasks, args.procs,
                 seed=args.seed, **options,
             )
-        rescheduler = make_rescheduler(
-            args.kernel, args.algorithm, quantum=args.quantum
+        rescheduler = (
+            None
+            if args.url
+            else make_rescheduler(args.kernel, args.algorithm, quantum=args.quantum)
         )
     except ModelError as exc:
         raise SystemExit(str(exc))
@@ -391,36 +432,48 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"quantum={'event-driven' if not args.quantum else f'{args.quantum:g}'}"
     )
 
-    def stream(epoch) -> None:
-        print(
-            f"epoch {epoch.index:3d}  t={epoch.start:10.4g}  "
-            f"tasks={epoch.num_tasks:4d}  makespan={epoch.makespan:10.4g}  "
-            f"wait={epoch.waiting:8.4g}  compute={epoch.compute_ms:7.2f}ms  "
-            f"guesses={epoch.engine.get('guesses', 0):4d}",
-            flush=True,
-        )
+    if args.url:
+        from .service import ReplayStreamError, ServiceClient, ServiceHTTPError
 
-    result = rescheduler.replay(trace, on_epoch=stream)
-    metrics = result.metrics()
-    engine = metrics["engine"]
-    print(
-        f"replay: {metrics['num_epochs']} epochs  makespan={metrics['makespan']:.6g}  "
-        f"flow mean/max={metrics['mean_flow']:.4g}/{metrics['max_flow']:.4g}  "
-        f"stretch mean/max={metrics['mean_stretch']:.3f}/{metrics['max_stretch']:.3f}  "
-        f"utilization={metrics['utilization']:.3f}"
-    )
-    print(
-        f"kernel compute: {metrics['compute_ms']:.2f}ms  "
-        f"engine guesses={engine['guesses']}  "
-        f"memo hits/misses={engine['memo_hits']}/{engine['memo_misses']}"
-    )
-    if args.validate:
-        sim = simulate_and_check(result.schedule, respect_release=True)
-        metrics["validated"] = True
-        print(
-            f"validated: simulated makespan {sim.makespan:.6g}, "
-            f"{len(sim.events)} events, releases respected"
+        try:
+            final = ServiceClient(args.url).replay(
+                trace=trace,
+                kernel=args.kernel,
+                algorithm=args.algorithm,
+                quantum=args.quantum,
+                validate=args.validate,
+                on_epoch=_print_epoch_line,
+            )
+        except (ReplayStreamError, ServiceHTTPError, OSError) as exc:
+            raise SystemExit(str(exc))
+        epochs = final["result"]["epochs"]
+        metrics = {
+            k: v for k, v in final["result"].items()
+            if k not in ("epochs", "schedule")
+        }
+        _print_replay_summary(metrics)
+        validation = final.get("validation")
+        if args.validate and validation is not None:
+            metrics["validated"] = True
+            print(
+                f"validated: simulated makespan "
+                f"{validation['simulated_makespan']:.6g}, "
+                f"{validation['events']} events, releases respected"
+            )
+    else:
+        result = rescheduler.replay(
+            trace, on_epoch=lambda report: _print_epoch_line(report.as_dict())
         )
+        epochs = [epoch.as_dict() for epoch in result.epochs]
+        metrics = result.metrics()
+        _print_replay_summary(metrics)
+        if args.validate:
+            sim = simulate_and_check(result.schedule, respect_release=True)
+            metrics["validated"] = True
+            print(
+                f"validated: simulated makespan {sim.makespan:.6g}, "
+                f"{len(sim.events)} events, releases respected"
+            )
     if args.compare_offline:
         offline = _make_scheduler(args.algorithm).schedule(trace)
         ratio = (
@@ -433,7 +486,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"competitive ratio={ratio:.3f}"
         )
     if args.json:
-        metrics["epochs"] = [epoch.as_dict() for epoch in result.epochs]
+        metrics["epochs"] = epochs
         print("REPLAY " + json.dumps(metrics, sort_keys=True))
     return 0
 

@@ -74,6 +74,7 @@ FINGERPRINT_TAGS: dict[str, frozenset[bytes]] = {
     "model/instance.py::profile_fingerprint": frozenset(
         {b"repro-instance-v1", b"releases-v1"}
     ),
+    "online/plancache.py::plan_key": frozenset({b"repro-plan-v1"}),
 }
 
 

@@ -28,18 +28,26 @@ from .baselines import (
     online_list_replay,
 )
 from .epoch import EpochReport, EpochRescheduler, ReplayResult
-from .replay import compute_replay_response, replay_from_payload
+from .plancache import CachedPlan, PlanCache
+from .replay import (
+    compute_replay_response,
+    iter_replay_frames,
+    replay_from_payload,
+)
 
 __all__ = [
     "AvailabilityProfile",
     "AvailabilityRescheduler",
+    "CachedPlan",
     "EpochReport",
     "EpochRescheduler",
+    "PlanCache",
     "ReplayResult",
     "arrival_allotment",
     "compute_replay_response",
     "first_fit_replay",
     "flow_summary",
+    "iter_replay_frames",
     "online_list_replay",
     "replay_from_payload",
 ]

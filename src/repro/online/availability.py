@@ -39,7 +39,6 @@ an empty staircase and reproduces the offline kernel's schedule bit-exactly
 
 from __future__ import annotations
 
-import time
 from typing import Callable
 
 import numpy as np
@@ -50,7 +49,8 @@ from ..model.schedule import Schedule
 from ..model.task import EPS
 from ..registry import make_scheduler
 from ..scheduler import Scheduler
-from .epoch import EpochReport, EpochRescheduler, ReplayResult, engine_stats
+from .epoch import EpochReport, EpochRescheduler, ReplayResult, plan_batch
+from .plancache import PlanCache
 
 __all__ = ["AvailabilityProfile", "AvailabilityRescheduler"]
 
@@ -169,6 +169,11 @@ class AvailabilityRescheduler:
         the flow invariant and the benchmark reports how often the
         carry-over path wins outright.  ``False`` returns the raw
         carry-over stitching unconditionally.
+    plan_cache:
+        Optional :class:`~repro.online.plancache.PlanCache` shared with the
+        barrier kernel: repeated epoch batches (including the fallback
+        pass's) skip the offline kernel.  ``None`` schedules every batch
+        fresh.
     """
 
     kernel = "availability"
@@ -187,6 +192,7 @@ class AvailabilityRescheduler:
         quantum: float | None = None,
         scheduler: Scheduler | None = None,
         fallback: bool = True,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if quantum is not None and quantum < 0:
             raise ModelError("quantum must be non-negative (or None)")
@@ -195,6 +201,8 @@ class AvailabilityRescheduler:
         self.quantum = None if not quantum else float(quantum)
         self.fallback = bool(fallback)
         self._scheduler = scheduler or make_scheduler(algorithm, self.params)
+        self.plan_cache = plan_cache
+        self._params_json = PlanCache.params_json(self.params)
 
     # ------------------------------------------------------------------ #
     def replay(
@@ -220,6 +228,7 @@ class AvailabilityRescheduler:
                 self.params,
                 quantum=self.quantum,
                 scheduler=self._scheduler,
+                plan_cache=self.plan_cache,
             ).replay(instance)
             flow_ok = float(result.flow_times().mean()) <= float(
                 barrier.flow_times().mean()
@@ -300,9 +309,10 @@ class AvailabilityRescheduler:
             batch = instance.subset(
                 pending, name=f"{instance.name}@avail{len(epochs)}"
             )
-            compute_start = time.perf_counter()
-            batch_schedule = self._scheduler.schedule(batch)
-            compute_ms = (time.perf_counter() - compute_start) * 1e3
+            batch_schedule, compute_ms, batch_engine = plan_batch(
+                self._scheduler, batch, self.plan_cache,
+                self.algorithm, self._params_json,
+            )
             profile = AvailabilityProfile(busy_until, clock)
             proc_free = profile.busy_until.copy()
             committed: set[int] = set()
@@ -344,7 +354,7 @@ class AvailabilityRescheduler:
                     makespan=end - clock,
                     waiting=waited / len(committed),
                     compute_ms=compute_ms,
-                    engine=engine_stats(batch),
+                    engine=batch_engine,
                 )
                 epochs.append(report)
                 pending = [i for i in pending if i not in committed]

@@ -40,8 +40,55 @@ from ..model.schedule import Schedule
 from ..model.task import EPS
 from ..registry import make_scheduler
 from ..scheduler import Scheduler
+from .plancache import PLAN_MISS, CachedPlan, PlanCache, plan_key
 
-__all__ = ["EpochReport", "EpochRescheduler", "ReplayResult", "engine_stats"]
+__all__ = [
+    "EpochReport",
+    "EpochRescheduler",
+    "ReplayResult",
+    "engine_stats",
+    "plan_batch",
+]
+
+
+def plan_batch(
+    scheduler: Scheduler,
+    batch: Instance,
+    plan_cache: PlanCache | None,
+    algorithm: str,
+    params_json: str,
+) -> tuple[Schedule, float, dict]:
+    """Schedule one epoch batch, memoised through the plan cache.
+
+    Returns ``(schedule, compute_ms, engine)``.  On a cache hit the stored
+    plan is materialised against ``batch`` and the *recorded* engine
+    counters are returned, so a warm replay reports byte-identical epochs
+    (``compute_ms`` is the only field a hit may change).  A failed epoch
+    caches nothing — the scheduler's exception propagates before ``store``.
+    """
+    if plan_cache is None:
+        compute_start = time.perf_counter()
+        schedule = scheduler.schedule(batch)
+        return (
+            schedule,
+            (time.perf_counter() - compute_start) * 1e3,
+            engine_stats(batch),
+        )
+    key = plan_key(batch, algorithm, params_json)
+    compute_start = time.perf_counter()
+    plan = plan_cache.fetch(key)
+    if plan is not PLAN_MISS:
+        schedule = plan.build_schedule(batch)
+        return (
+            schedule,
+            (time.perf_counter() - compute_start) * 1e3,
+            plan.engine_stats(),
+        )
+    schedule = scheduler.schedule(batch)
+    compute_ms = (time.perf_counter() - compute_start) * 1e3
+    engine = engine_stats(batch)
+    plan_cache.store(key, CachedPlan.from_schedule(schedule, engine))
+    return schedule, compute_ms, engine
 
 
 def engine_stats(batch: Instance) -> dict:
@@ -221,6 +268,11 @@ class EpochRescheduler:
     scheduler:
         Explicit :class:`~repro.scheduler.Scheduler` instance overriding
         ``algorithm``/``params`` (tests, custom kernels).
+    plan_cache:
+        Optional :class:`~repro.online.plancache.PlanCache`: epoch batches
+        are then content-addressed and repeated batches skip the offline
+        kernel entirely (the streaming ``/replay`` shards share one per
+        service).  ``None`` (the default) schedules every batch fresh.
     """
 
     kernel = "barrier"
@@ -232,6 +284,7 @@ class EpochRescheduler:
         *,
         quantum: float | None = None,
         scheduler: Scheduler | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if quantum is not None and quantum < 0:
             raise ModelError("quantum must be non-negative (or None)")
@@ -239,6 +292,8 @@ class EpochRescheduler:
         self.params = dict(params or {})
         self.quantum = None if not quantum else float(quantum)
         self._scheduler = scheduler or make_scheduler(algorithm, self.params)
+        self.plan_cache = plan_cache
+        self._params_json = PlanCache.params_json(self.params)
 
     # ------------------------------------------------------------------ #
     def replay(
@@ -280,9 +335,10 @@ class EpochRescheduler:
             batch = instance.subset(
                 pending, name=f"{instance.name}@epoch{len(epochs)}"
             )
-            compute_start = time.perf_counter()
-            batch_schedule = self._scheduler.schedule(batch)
-            compute_ms = (time.perf_counter() - compute_start) * 1e3
+            batch_schedule, compute_ms, batch_engine = plan_batch(
+                self._scheduler, batch, self.plan_cache,
+                self.algorithm, self._params_json,
+            )
             # The epoch end is the max finish of the *stitched* entries (not
             # ``clock + batch makespan``): the two differ by float rounding,
             # and the next epoch must start bit-exactly when the machine
@@ -304,7 +360,7 @@ class EpochRescheduler:
                 makespan=batch_schedule.makespan(),
                 waiting=float(np.mean([clock - releases[i] for i in pending])),
                 compute_ms=compute_ms,
-                engine=engine_stats(batch),
+                engine=batch_engine,
             )
             epochs.append(report)
             if on_epoch is not None:

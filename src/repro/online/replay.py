@@ -17,9 +17,22 @@ stream back:
     metrics, the per-epoch reports, the stitched schedule, the trace
     fingerprint and (optionally) an independent simulate-and-check
     validation with release dates enforced.
+``iter_replay_frames``
+    The streaming producer behind the chunked ``POST /replay``: a generator
+    of NDJSON frames — one ``{"epoch": ...}`` line per
+    :class:`~repro.online.epoch.EpochReport` as it is scheduled, then the
+    full ``compute_replay_response`` document as the final line, so a
+    client that concatenates the final frame sees exactly the legacy
+    synchronous response.
 """
 
 from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from typing import Iterator
 
 from ..exceptions import ModelError
 from ..model.instance import Instance
@@ -29,7 +42,11 @@ from ..workloads.arrivals import ARRIVAL_PATTERNS, make_trace
 from .availability import AvailabilityRescheduler
 from .epoch import EpochRescheduler
 
-__all__ = ["compute_replay_response", "replay_from_payload"]
+__all__ = [
+    "compute_replay_response",
+    "iter_replay_frames",
+    "replay_from_payload",
+]
 
 #: ``generate`` keys forwarded to the arrival-pattern generators verbatim.
 _GENERATE_OPTIONS = (
@@ -45,8 +62,15 @@ _GENERATE_OPTIONS = (
 
 def replay_from_payload(
     payload: dict,
+    *,
+    plan_cache=None,
 ) -> tuple[Instance, EpochRescheduler | AvailabilityRescheduler, bool]:
-    """Parse a ``POST /replay`` body; raises :class:`ModelError` on bad input."""
+    """Parse a ``POST /replay`` body; raises :class:`ModelError` on bad input.
+
+    ``plan_cache`` (an optional :class:`~repro.online.plancache.PlanCache`)
+    is handed to the kernel so the serving daemon memoises per-epoch batch
+    plans across requests.
+    """
     if not isinstance(payload, dict):
         raise ModelError("request body must be a JSON object")
     if ("trace" in payload) == ("generate" in payload):
@@ -94,7 +118,9 @@ def replay_from_payload(
     kernel = payload.get("kernel", "barrier")
     if not isinstance(kernel, str):
         raise ModelError("'kernel' must be a string")
-    rescheduler = make_rescheduler(kernel, algorithm, params, quantum=quantum)
+    rescheduler = make_rescheduler(
+        kernel, algorithm, params, quantum=quantum, plan_cache=plan_cache
+    )
     return trace, rescheduler, bool(payload.get("validate", False))
 
 
@@ -102,9 +128,15 @@ def compute_replay_response(
     trace: Instance,
     rescheduler: EpochRescheduler | AvailabilityRescheduler,
     validate: bool,
+    *,
+    on_epoch=None,
 ) -> dict:
-    """Run the replay and shape the ``POST /replay`` response payload."""
-    result = rescheduler.replay(trace)
+    """Run the replay and shape the ``POST /replay`` response payload.
+
+    ``on_epoch`` is forwarded to :meth:`replay` — the streaming frontend
+    hooks it to emit one frame per :class:`~repro.online.epoch.EpochReport`.
+    """
+    result = rescheduler.replay(trace, on_epoch=on_epoch)
     payload: dict = {
         "result": {
             **result.metrics(),
@@ -122,3 +154,84 @@ def compute_replay_response(
             "events": len(sim.events),
         }
     return payload
+
+
+class _StreamClosed(Exception):
+    """Raised inside the producer when the consumer abandoned the stream."""
+
+
+#: Queue sentinel: the producer is done, every frame has been enqueued.
+_DONE = object()
+
+
+def iter_replay_frames(
+    trace: Instance,
+    rescheduler: EpochRescheduler | AvailabilityRescheduler,
+    validate: bool,
+    *,
+    queue_size: int = 32,
+) -> Iterator[bytes]:
+    """NDJSON frames of one streamed replay, produced as epochs complete.
+
+    Bridges the kernel's push-style ``on_epoch`` callback into the
+    pull-style iterable the transports consume: the replay runs on a
+    producer thread feeding a bounded queue; each yielded frame is one
+    ``{"epoch": <EpochReport.as_dict()>}\\n`` line, and the final frame is
+    the complete :func:`compute_replay_response` document (plus
+    ``elapsed_ms``) — concatenating nothing but the last line reproduces
+    the legacy synchronous response byte-for-byte.
+
+    Error contract: a kernel exception is re-raised *here*, mid-iteration —
+    the transport then aborts the chunked stream without the terminating
+    zero chunk, so truncation is the client's error signal.  Closing the
+    generator early (client went away) sets a cancel flag that the
+    producer's next ``put`` turns into a clean thread exit: no thread leak,
+    no unbounded buffering of an abandoned replay.
+    """
+    frames: queue.Queue = queue.Queue(maxsize=queue_size)
+    cancelled = threading.Event()
+
+    def put(item) -> None:
+        while True:
+            if cancelled.is_set():
+                raise _StreamClosed
+            try:
+                frames.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def produce() -> None:
+        start = time.perf_counter()
+        try:
+            payload = compute_replay_response(
+                trace,
+                rescheduler,
+                validate,
+                on_epoch=lambda report: put({"epoch": report.as_dict()}),
+            )
+            payload["elapsed_ms"] = (time.perf_counter() - start) * 1e3
+            put(payload)
+            put(_DONE)
+        except _StreamClosed:
+            pass
+        except BaseException as exc:  # noqa: BLE001 — relayed to the consumer
+            try:
+                put(exc)
+            except _StreamClosed:
+                pass
+
+    producer = threading.Thread(
+        target=produce, name="repro-replay-stream", daemon=True
+    )
+    producer.start()
+    try:
+        while True:
+            item = frames.get()
+            if item is _DONE:
+                return
+            if isinstance(item, BaseException):
+                raise item
+            yield json.dumps(item).encode() + b"\n"
+    finally:
+        cancelled.set()

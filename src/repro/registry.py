@@ -66,11 +66,14 @@ def make_rescheduler(
     params: dict | None = None,
     *,
     quantum: float | None = None,
+    plan_cache=None,
 ):
     """Instantiate the online replay kernel registered under ``kernel``.
 
-    ``algorithm``/``params``/``quantum`` are forwarded to the kernel's
-    constructor (both kernels share the signature).  Raises
+    ``algorithm``/``params``/``quantum``/``plan_cache`` are forwarded to the
+    kernel's constructor (both kernels share the signature; ``plan_cache``
+    is an optional :class:`~repro.online.plancache.PlanCache` memoising
+    per-epoch batch plans).  Raises
     :class:`~repro.exceptions.ModelError` on an unknown kernel name, listing
     the valid choices — the service maps that to a clean 400.
     """
@@ -89,4 +92,4 @@ def make_rescheduler(
         raise ModelError(
             f"unknown online kernel {kernel!r}; choose from {sorted(factories)}"
         )
-    return factory(algorithm, params, quantum=quantum)
+    return factory(algorithm, params, quantum=quantum, plan_cache=plan_cache)

@@ -21,7 +21,7 @@ Turns the package's one-shot schedulers into a long-lived serving stack:
 """
 
 from .cache import CacheStats, LRUTTLCache, MISS
-from .client import ServiceClient, ServiceHTTPError
+from .client import ReplayStreamError, ServiceClient, ServiceHTTPError
 from .core import (
     ScheduleRequest,
     SchedulerService,
@@ -54,6 +54,7 @@ __all__ = [
     "DaemonApp",
     "LRUTTLCache",
     "MISS",
+    "ReplayStreamError",
     "TRANSPORTS",
     "ScheduleRequest",
     "SchedulerService",

@@ -34,7 +34,7 @@ from urllib.parse import urlsplit
 from ..model.instance import Instance
 from .http.pool import RetryPolicy, open_http_connection
 
-__all__ = ["ServiceClient", "ServiceHTTPError"]
+__all__ = ["ReplayStreamError", "ServiceClient", "ServiceHTTPError"]
 
 
 class ServiceHTTPError(RuntimeError):
@@ -45,6 +45,16 @@ class ServiceHTTPError(RuntimeError):
         super().__init__(f"HTTP {status} from {url}: {message}")
         self.status = status
         self.payload = payload or {}
+
+
+class ReplayStreamError(RuntimeError):
+    """A ``/replay`` stream ended without its final document.
+
+    Truncation *is* the server's mid-stream error signal (the chunked
+    response is aborted without the terminating zero chunk when a replay
+    fails after streaming began), so an incomplete stream always raises —
+    a short read is never silently returned as a result.
+    """
 
 
 class ServiceClient:
@@ -285,8 +295,9 @@ class ServiceClient:
         params: dict | None = None,
         quantum: float | None = None,
         validate: bool = False,
+        on_epoch=None,
     ) -> dict:
-        """Replay an online arrival trace (``POST /replay``).
+        """Replay an online arrival trace (streamed ``POST /replay``).
 
         ``trace`` may be an :class:`~repro.model.instance.Instance` (tasks
         carrying release times) or its ``as_dict`` payload; alternatively
@@ -294,6 +305,17 @@ class ServiceClient:
         "seed", ...}``) to have the server synthesise the trace.  ``kernel``
         picks the replay kernel (:data:`repro.registry.ONLINE_KERNELS`):
         ``"barrier"`` or ``"availability"``.
+
+        The server answers with a chunked NDJSON stream; ``on_epoch`` (if
+        given) is called with each epoch's report dict as its frame
+        arrives, and the returned value is the stream's final document —
+        the same shape the old synchronous endpoint answered with
+        (``result`` + ``fingerprint`` + ``validation`` + ``elapsed_ms``).
+        A stream that ends without that final document raises
+        :class:`ReplayStreamError`; HTTP errors raise
+        :class:`ServiceHTTPError` exactly as before.  A 503 (fleet not
+        ready) arrives before any frame, so the usual retry/backoff loop
+        still applies.
         """
         if (trace is None) == (generate is None):
             raise ValueError("pass exactly one of trace or generate")
@@ -310,4 +332,74 @@ class ServiceClient:
             body["trace"] = trace.as_dict() if isinstance(trace, Instance) else trace
         else:
             body["generate"] = generate
-        return self._request("/replay", payload=body)
+        raw = json.dumps(body).encode()
+        attempt = 0
+        while True:
+            try:
+                return self._replay_once(raw, on_epoch)
+            except ServiceHTTPError as exc:
+                if exc.status != 503 or attempt >= self._retry_policy.retries:
+                    raise
+            with self._retry_lock:
+                self.retries_total += 1
+            self._retry_policy.sleep(attempt)
+            attempt += 1
+
+    def _replay_once(self, raw: bytes, on_epoch) -> dict:
+        """One streamed ``/replay`` exchange on this thread's connection."""
+        headers = {
+            "Content-Type": "application/json",
+            "Accept": "application/x-ndjson",
+        }
+        for attempt in (0, 1):
+            conn, reused = self._connection()
+            try:
+                conn.request("POST", self._base_path + "/replay", body=raw, headers=headers)
+                response = conn.getresponse()
+            except (http.client.HTTPException, OSError):
+                self._drop_connection(conn)
+                if reused and attempt == 0:
+                    continue  # idle keep-alive closed by the server
+                raise
+            break
+        self._local.last_trace_id = response.getheader("X-Repro-Trace-Id")
+        if response.status >= 400:
+            data = response.read()
+            if response.will_close:
+                self._drop_connection(conn)
+            try:
+                error_body = json.loads(data)
+            except (json.JSONDecodeError, ValueError):
+                error_body = None
+            raise ServiceHTTPError(
+                response.status, error_body, f"{self.base_url}/replay"
+            )
+        final: dict | None = None
+        try:
+            # http.client decodes the chunked framing; each readline is one
+            # NDJSON frame.  Truncation (server aborted mid-stream) raises
+            # out of readline as IncompleteRead/ConnectionError.
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                document = json.loads(line)
+                if "epoch" in document:
+                    if on_epoch is not None:
+                        on_epoch(document["epoch"])
+                else:
+                    final = document
+        except (http.client.HTTPException, OSError, ValueError) as exc:
+            self._drop_connection(conn)
+            raise ReplayStreamError(
+                f"replay stream from {self.base_url} failed mid-stream: {exc}"
+            ) from exc
+        if final is None:
+            self._drop_connection(conn)
+            raise ReplayStreamError(
+                f"replay stream from {self.base_url} ended without a final "
+                "document (server aborted the replay mid-stream)"
+            )
+        if response.will_close:
+            self._drop_connection(conn)
+        return final

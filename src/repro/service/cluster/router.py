@@ -30,6 +30,12 @@ state, and either transport of :mod:`repro.service.http` binds it to a
 socket — ``start_cluster(..., transport="asyncio")`` serves the same
 byte-identical responses from one event loop.
 
+``POST /replay`` routes by ``(trace-prefix, kernel)`` — the fingerprint of
+the trace's earliest-released tasks plus the kernel name (see
+:func:`replay_routing_key`) — so re-runs and overlapping traces land on the
+shard whose per-epoch plan cache is already warm, and relays the shard's
+chunked NDJSON stream frame-for-frame as it is produced.
+
 Other routes: ``GET /healthz`` (fleet liveness + the SLO-driven health
 state machine; a fully-dead fleet or ``failing`` state answers 503),
 ``GET /metrics`` (aggregated per-shard + router view, including
@@ -71,6 +77,7 @@ __all__ = [
     "RouterApp",
     "ShardRouterServer",
     "make_router",
+    "replay_routing_key",
     "routing_info",
     "start_cluster",
 ]
@@ -117,6 +124,62 @@ def routing_info(raw: bytes) -> tuple[str, dict[str, str]]:
     except (TypeError, ValueError):
         canon = raw.decode("utf-8", "replace")
     return "body:" + blake2b(canon.encode(), digest_size=8).hexdigest(), {}
+
+
+#: How many of the earliest-released tasks form the replay routing prefix.
+_REPLAY_PREFIX_TASKS = 8
+
+
+def replay_routing_key(raw: bytes) -> str:
+    """``(trace-prefix, kernel)`` routing key for a raw ``/replay`` body.
+
+    Replays are routed by the fingerprint of the trace's *prefix* — the
+    first :data:`_REPLAY_PREFIX_TASKS` tasks in stable release order — plus
+    the kernel name, so re-runs, extended traces and overlapping traces all
+    land on the shard whose plan cache is already warm with their early
+    epochs.  (Routing by the full-trace fingerprint would scatter a trace
+    and its one-task extension to different shards; routing by prefix keeps
+    them together, and later epochs of a longer trace warm the same shard
+    further.)  Generator specs route by their canonical spec hash — the
+    same ``(spec, kernel)`` always replays on the same shard.  Never
+    raises: undecodable bodies route by content hash and are rejected by
+    the owning shard with exactly the daemon's error bytes.
+    """
+    try:
+        payload = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        return "replay-raw:" + blake2b(raw, digest_size=8).hexdigest()
+    if isinstance(payload, dict):
+        kernel = payload.get("kernel", "barrier")
+        if not isinstance(kernel, str):
+            kernel = "?"
+        trace = payload.get("trace")
+        if isinstance(trace, dict) and isinstance(trace.get("tasks"), list):
+            tasks = trace["tasks"]
+
+            def release_of(task) -> float:
+                value = task.get("release", 0.0) if isinstance(task, dict) else 0.0
+                return value if isinstance(value, (int, float)) else 0.0
+
+            prefix = sorted(tasks, key=release_of)[:_REPLAY_PREFIX_TASKS]
+            fingerprint = payload_fingerprint(
+                {"num_procs": trace.get("num_procs"), "tasks": prefix}
+            )
+            if fingerprint is not None:
+                return f"replay:{kernel}:{fingerprint}"
+        generate = payload.get("generate")
+        if isinstance(generate, dict):
+            try:
+                canon = canonical_json(generate)
+            except (TypeError, ValueError):  # pragma: no cover - json-decoded
+                canon = repr(generate)
+            digest = blake2b(canon.encode(), digest_size=8).hexdigest()
+            return f"replay:{kernel}:gen:{digest}"
+    try:
+        canon = canonical_json(payload)
+    except (TypeError, ValueError):
+        canon = raw.decode("utf-8", "replace")
+    return "replay-body:" + blake2b(canon.encode(), digest_size=8).hexdigest()
 
 
 class RouterApp(App):
@@ -176,6 +239,7 @@ class RouterApp(App):
             Route("GET", "/traces", self._handle_traces),
             Route("GET", "/trace/", self._handle_trace, prefix=True),
             Route("POST", "/schedule", self._handle_schedule),
+            Route("POST", "/replay", self._handle_replay),
             Route("POST", "/purge", self._handle_purge),
             Route("POST", "/shutdown", self._handle_shutdown),
         ]
@@ -409,6 +473,114 @@ class RouterApp(App):
             headers["X-Repro-Trace-Id"] = trace.trace_id
         return Response(status, body, headers=headers)
 
+    def _handle_replay(self, request: Request) -> Response:
+        """Route a replay to its ``(trace-prefix, kernel)`` shard and relay
+        the chunked NDJSON stream frame-for-frame.
+
+        Retries (like ``/schedule``'s) happen only *before* the stream
+        starts: once the shard answered 200 the first frame may already be
+        on the wire, so a mid-stream shard death surfaces to the client as
+        stream truncation — the same error signal the daemon emits, which
+        is exactly what keeps the two frontends behaviourally identical.
+        Non-200 shard responses are read in full and relayed verbatim, so
+        error bytes match the daemon's.  The replay path records no router
+        trace: a trace's spans land when the response is *finished*, and a
+        streamed body outlives the handler — forward latency is recorded
+        as time-to-first-byte instead.
+        """
+        raw = request.body
+        key = replay_routing_key(raw)
+        start = time.perf_counter()
+        attempts = self.forward_retries + 1
+        for attempt in range(attempts):
+            try:
+                shard_id, url = self.supervisor.route(key)
+            except ClusterError as exc:
+                self.record_route_error(None)
+                return self._routed_response(503, {"error": str(exc)}, None)
+            conn = self.connections.acquire(shard_id, url)
+            try:
+                conn.request(
+                    "POST",
+                    "/replay",
+                    body=raw,
+                    headers={
+                        "Content-Type": "application/json",
+                        "Accept": "application/x-ndjson",
+                    },
+                )
+                upstream = conn.getresponse()
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                self.record_route_error(shard_id)
+                if attempt + 1 >= attempts:
+                    return self._routed_response(
+                        503,
+                        {
+                            "error": f"shard {shard_id} unavailable after "
+                            f"{attempts} attempts; retry later"
+                        },
+                        None,
+                    )
+                time.sleep(self.retry_wait)
+                continue
+            if upstream.status != 200:
+                # Error document (400 and friends): small, read it whole and
+                # relay the bytes untouched — daemon/router parity.
+                body = upstream.read()
+                if upstream.will_close:
+                    conn.close()
+                else:
+                    self.connections.release(shard_id, url, conn)
+                self.record_forward(
+                    shard_id, (time.perf_counter() - start) * 1e3
+                )
+                return Response(upstream.status, body)
+            self.record_forward(shard_id, (time.perf_counter() - start) * 1e3)
+            return Response(
+                200,
+                stream=self._relay_stream(shard_id, url, conn, upstream),
+                content_type=upstream.getheader("Content-Type")
+                or "application/x-ndjson",
+            )
+        raise AssertionError("unreachable: every retry path returns")
+
+    def _relay_stream(self, shard_id, url, conn, upstream):
+        """Re-emit the shard's NDJSON stream one line (= one chunk) at a time.
+
+        ``http.client`` transparently decodes the shard's chunked framing;
+        re-framing by line preserves the one-chunk-per-epoch boundary the
+        parity suite pins.  A truncated upstream (shard died mid-replay)
+        must truncate the client-facing stream too, so this reads with
+        ``read1`` — the one decoding path that *raises* ``IncompleteRead``
+        on truncation and returns ``b""`` only after consuming the clean
+        terminating zero chunk (``readline``'s ``peek`` swallows the
+        difference, and ``isclosed()`` cannot tell either: the protocol-lost
+        path closes the response object too).  The pooled connection is only
+        released for reuse after a complete, clean relay.
+        """
+        reusable = False
+        try:
+            buffer = b""
+            while True:
+                data = upstream.read1(65536)
+                if not data:
+                    if buffer:
+                        raise ConnectionError(
+                            "upstream replay stream ended mid-line"
+                        )
+                    reusable = not upstream.will_close
+                    return
+                buffer += data
+                while (newline := buffer.find(b"\n")) >= 0:
+                    yield buffer[: newline + 1]
+                    buffer = buffer[newline + 1 :]
+        finally:
+            if reusable:
+                self.connections.release(shard_id, url, conn)
+            else:
+                conn.close()
+
     def _forward_once(
         self, shard_id: int, url: str, raw: bytes, fast_headers: dict[str, str]
     ) -> tuple[int, bytes]:
@@ -445,6 +617,9 @@ class RouterApp(App):
             {
                 "expired_purged": sum(r["expired_purged"] for r in reachable),
                 "cleared": sum(r["cleared"] for r in reachable),
+                "plan_cleared": sum(
+                    r.get("plan_cleared", 0) for r in reachable
+                ),
                 "shards": {str(sid): r for sid, r in results.items()},
             },
         )
@@ -566,6 +741,7 @@ class RouterApp(App):
             "size",
         )
         cache_totals = dict.fromkeys(cache_keys, 0)
+        plan_totals = dict.fromkeys(cache_keys, 0)
         shards_view: dict[str, dict] = {}
         fleet_latency = LatencyHistogram()
         for shard_id, snapshot in sorted(snapshots.items()):
@@ -581,6 +757,9 @@ class RouterApp(App):
             shard_cache = snapshot.get("cache", {})
             for key in cache_keys:
                 cache_totals[key] += int(shard_cache.get(key, 0))
+            shard_plans = snapshot.get("plan_cache", {})
+            for key in cache_keys:
+                plan_totals[key] += int(shard_plans.get(key, 0))
             # Exact merge: every shard buckets into the same pinned bounds,
             # so summing counters yields the true fleet-wide distribution.
             shard_histogram = snapshot.get("latency", {}).get("histogram")
@@ -588,6 +767,10 @@ class RouterApp(App):
                 fleet_latency.merge(shard_histogram)
         lookups = cache_totals["hits"] + cache_totals["misses"]
         cache_totals["hit_rate"] = cache_totals["hits"] / lookups if lookups else 0.0
+        plan_lookups = plan_totals["hits"] + plan_totals["misses"]
+        plan_totals["hit_rate"] = (
+            plan_totals["hits"] / plan_lookups if plan_lookups else 0.0
+        )
         slo_status = self.cluster_slo_status(snapshots)
         health = evaluate_health(
             slo_status,
@@ -641,6 +824,7 @@ class RouterApp(App):
                 "uptime_seconds": supervisor.uptime_seconds,
                 **totals,
                 "cache": cache_totals,
+                "plan_cache": plan_totals,
                 "latency": latency,
             },
             "router": router,

@@ -61,6 +61,7 @@ class ShardSpec:
     cache_capacity: int = 2048
     cache_ttl: float | None = None
     purge_interval: float | None = None
+    plan_cache_capacity: int = 512
     max_pending: int = 1024
     verbose: bool = False
     tracing: bool = True

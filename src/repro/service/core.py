@@ -289,6 +289,10 @@ class SchedulerService:
         entries (:meth:`LRUTTLCache.purge_expired`) so a long-idle service
         does not pin dead entries until the next lookup.  ``None`` (default)
         purges once per ``cache_ttl``; ignored when no TTL is configured.
+    plan_cache_capacity:
+        LRU capacity of the per-epoch batch-plan cache
+        (:class:`~repro.online.plancache.PlanCache`) behind the streaming
+        ``/replay`` path.  Content-addressed, so no TTL applies.
     max_pending:
         Backpressure bound on in-flight requests; beyond it
         :meth:`submit` raises :class:`~repro.exceptions.ServiceOverloadedError`.
@@ -329,6 +333,7 @@ class SchedulerService:
         cache_capacity: int = 2048,
         cache_ttl: float | None = None,
         purge_interval: float | None = None,
+        plan_cache_capacity: int = 512,
         max_pending: int = 1024,
         clock: Callable[[], float] = time.monotonic,
         autostart: bool = True,
@@ -352,6 +357,13 @@ class SchedulerService:
         if purge_interval is not None and purge_interval <= 0:
             raise ValueError("purge_interval must be positive (or None for auto)")
         self.cache = LRUTTLCache(cache_capacity, ttl=cache_ttl, clock=clock)
+        # Lazy import: repro.online's kernels import this package for the
+        # shared LRU machinery, so a module-level import here would cycle.
+        from ..online.plancache import PlanCache
+
+        #: Per-epoch batch-plan cache of the streaming ``/replay`` path —
+        #: content-addressed (no TTL), shared across kernels and requests.
+        self.plan_cache = PlanCache(plan_cache_capacity, clock=clock)
         # Purge scheduling runs on the same (injectable) clock as the cache
         # TTL so tests can drive both deterministically.
         self._clock = clock
@@ -538,6 +550,7 @@ class SchedulerService:
             **snapshot,
             "queue_depth": pending,
             "cache": {**self.cache.stats.as_dict(), "size": len(self.cache)},
+            "plan_cache": self.plan_cache.metrics(),
             "latency": lat,
             "traces": {
                 "stored": len(self.traces),

@@ -41,6 +41,10 @@ MAX_HEADERS = 256
 
 _SERVER_ID = f"ReproAsyncHTTP/1.1 Python/{platform.python_version()}"
 
+#: Executor-side sentinel: ``next(frames, _STREAM_DONE)`` distinguishes a
+#: clean end of stream from a producer exception without a try in the loop.
+_STREAM_DONE = object()
+
 
 def _bad_request(message: str) -> Response:
     """A parse-level 400; always closes (the stream may be desynced)."""
@@ -184,10 +188,10 @@ class AsyncioTransport:
                     self._executor, self.app.handle, request
                 )
                 close_after = close_after or response.close
-                await self._write_response(writer, response, close=close_after)
-                if response.after_send is not None:
+                ok = await self._write_response(writer, response, close=close_after)
+                if ok and response.after_send is not None:
                     response.after_send()
-                if close_after:
+                if close_after or not ok:
                     return
         except (ConnectionError, asyncio.IncompleteReadError):
             return  # peer went away mid-request; nothing to answer
@@ -282,7 +286,15 @@ class AsyncioTransport:
 
     async def _write_response(
         self, writer: asyncio.StreamWriter, response: Response, *, close: bool
-    ) -> None:
+    ) -> bool:
+        """Write one response; ``False`` means the connection is unusable.
+
+        The plain-body path always returns ``True`` (a vanished peer makes
+        the response moot but ``after_send`` still fires, matching the
+        threaded transport); only an aborted stream poisons the connection.
+        """
+        if response.stream is not None:
+            return await self._write_stream(writer, response, close=close)
         try:
             phrase = HTTPStatus(response.status).phrase
         except ValueError:
@@ -304,4 +316,61 @@ class AsyncioTransport:
         try:
             await writer.drain()
         except (ConnectionError, OSError):
-            return  # peer vanished mid-write; the response is moot
+            pass  # peer vanished mid-write; the response is moot
+        return True
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, response: Response, *, close: bool
+    ) -> bool:
+        """Chunked Transfer-Encoding, pulled frame-by-frame off the loop.
+
+        Each ``next(frames)`` runs in the app executor (the producer may
+        block on scheduler compute) and each chunk is followed by
+        ``drain()``, so a slow consumer parks this coroutine instead of
+        stalling the event loop.  A producer exception aborts without the
+        terminating zero chunk — same truncation contract as the threaded
+        transport — and returns ``False`` so the connection is dropped.
+        """
+        try:
+            phrase = HTTPStatus(response.status).phrase
+        except ValueError:
+            phrase = ""
+        head = [
+            f"HTTP/1.1 {response.status} {phrase}",
+            f"Server: {_SERVER_ID}",
+            f"Date: {formatdate(usegmt=True)}",
+            f"Content-Type: {response.content_type}",
+            "Transfer-Encoding: chunked",
+        ]
+        head.extend(f"{name}: {value}" for name, value in response.headers.items())
+        if close:
+            head.append("Connection: close")
+        loop = asyncio.get_running_loop()
+        frames = iter(response.stream)
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+            await writer.drain()
+            while True:
+                frame = await loop.run_in_executor(
+                    self._executor, next, frames, _STREAM_DONE
+                )
+                if frame is _STREAM_DONE:
+                    break
+                if not frame:
+                    continue
+                writer.write(b"%x\r\n%s\r\n" % (len(frame), frame))
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+            return True
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 — producer or peer failed mid-stream
+            return False
+        finally:
+            closer = getattr(frames, "close", None)
+            if closer is not None:
+                try:
+                    closer()
+                except Exception:  # noqa: BLE001 — generator may still be
+                    pass  # running in the executor during loop teardown

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 from urllib.parse import parse_qs
 
 __all__ = [
@@ -90,6 +90,17 @@ class Response:
     the ``X-Repro-*`` contract rides there.  ``close`` asks the transport
     to drop the connection after writing; ``after_send`` runs once the
     bytes are on the wire (the ``/shutdown`` hook).
+
+    Streaming variant: when ``stream`` is set (an iterable of byte frames;
+    ``body`` stays empty) the transport emits ``Transfer-Encoding: chunked``
+    instead of a ``Content-Length``, writing exactly one HTTP chunk per
+    non-empty frame as the iterator yields it — frame boundaries are part
+    of the wire contract, pinned by the chunked parity matrix in
+    ``tests/test_http_parity.py``.  A clean end of iteration writes the
+    terminating zero-length chunk; an iterator that *raises* mid-stream
+    aborts the connection **without** the terminator, so truncation is the
+    client's one error signal on every transport.  ``after_send`` runs only
+    after a complete stream.
     """
 
     status: int
@@ -98,11 +109,17 @@ class Response:
     headers: dict[str, str] = field(default_factory=dict)
     close: bool = False
     after_send: Callable[[], None] | None = None
+    stream: Iterable[bytes] | None = None
 
     @classmethod
     def json(cls, status: int, payload: dict, **kwargs) -> "Response":
         """JSON response with the stack's canonical ``json.dumps`` bytes."""
         return cls(status, json.dumps(payload).encode(), **kwargs)
+
+    @classmethod
+    def ndjson_stream(cls, frames: Iterable[bytes], **kwargs) -> "Response":
+        """Chunked NDJSON stream (one JSON line per frame, ``POST /replay``)."""
+        return cls(200, stream=frames, content_type="application/x-ndjson", **kwargs)
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,9 @@ class _AppHandler(BaseHTTPRequestHandler):
     do_OPTIONS = _dispatch  # noqa: N815
 
     def _write(self, response: Response) -> None:
+        if response.stream is not None:
+            self._write_stream(response)
+            return
         if response.close:
             self.close_connection = True
         self.send_response(response.status)
@@ -76,6 +79,45 @@ class _AppHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(response.body)
+        if response.after_send is not None:
+            response.after_send()
+
+    def _write_stream(self, response: Response) -> None:
+        """Chunked Transfer-Encoding: one HTTP chunk per yielded frame.
+
+        A producer that raises mid-stream aborts the connection without the
+        terminating zero chunk — truncation is the client's error signal
+        (the contract documented on :class:`Response` and pinned by the
+        parity suite).
+        """
+        if response.close:
+            self.close_connection = True
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        frames = iter(response.stream)
+        try:
+            for frame in frames:
+                if not frame:
+                    continue
+                self.wfile.write(b"%x\r\n%s\r\n" % (len(frame), frame))
+                self.wfile.flush()
+        except Exception:  # noqa: BLE001 — producer or peer failed mid-stream
+            self.close_connection = True
+            return
+        finally:
+            closer = getattr(frames, "close", None)
+            if closer is not None:
+                try:
+                    closer()
+                except Exception:  # noqa: BLE001 — abort already signalled
+                    pass
+        self.wfile.write(b"0\r\n\r\n")
         if response.after_send is not None:
             response.after_send()
 

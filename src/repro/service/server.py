@@ -16,8 +16,14 @@ responses.  Endpoints:
     ``"cache_hit"`` and ``"elapsed_ms"``.  Malformed input → 400; service
     backpressure → 503; internal scheduling failures → 500.
 ``POST /replay``
-    Online replay: epoch-reschedule an arrival trace, return the metric
-    stream plus ``"elapsed_ms"``.
+    Online replay, streamed: epoch-reschedule an arrival trace and return
+    a chunked ``application/x-ndjson`` stream — one ``{"epoch": ...}``
+    line per rescheduling epoch as it completes, then the full legacy
+    response document (metrics + epochs + schedule + ``"elapsed_ms"``) as
+    the final line.  Per-epoch batch plans are memoised in the service's
+    plan cache, so re-runs and overlapping traces skip the offline kernel.
+    A replay failure after streaming began truncates the stream (no
+    terminating zero chunk); parse errors are still plain 400s.
 ``GET /healthz``
     SLO-driven health probe: ``{"status": "ok" | "degraded" | "failing",
     "uptime_seconds", "reasons", "scale_hint"}``; ``failing`` answers 503.
@@ -264,40 +270,56 @@ class DaemonApp(App):
         return self._finish_schedule(response, trace)
 
     def _handle_replay(self, request: Request) -> Response:
-        """Online replay: epoch-reschedule an arrival trace, stream the metrics.
+        """Online replay, streamed: one NDJSON frame per epoch, chunked.
 
-        Replays run synchronously on the handler thread (one replay is a
-        whole dichotomic-search run per epoch — batching individual replays
-        would serialise them behind the dispatcher without amortising
-        anything).  The micro-batching ``/schedule`` pipeline and its result
-        cache are untouched.
+        Parsing still happens on the handler thread (so malformed payloads
+        stay clean 400s), but the replay itself runs on a producer thread
+        behind :func:`~repro.online.replay.iter_replay_frames`: each
+        :class:`~repro.online.epoch.EpochReport` is emitted as an
+        ``{"epoch": ...}`` line the moment its batch is scheduled, and the
+        final line is the complete legacy response document.  Per-epoch
+        batch plans are memoised in the service's
+        :class:`~repro.online.plancache.PlanCache`, so repeated and
+        overlapping traces skip the dichotomic search.  The micro-batching
+        ``/schedule`` pipeline and its result cache are untouched.
         """
         # Local import: only /replay needs the online subsystem — keep the
         # serving frontend's module dependency graph decoupled from it.
-        from ..online.replay import compute_replay_response, replay_from_payload
+        from ..online.replay import iter_replay_frames, replay_from_payload
 
-        start = time.perf_counter()
         trace, rescheduler, validate = replay_from_payload(
-            self.read_json_body(request)
+            self.read_json_body(request), plan_cache=self.service.plan_cache
         )
-        response = compute_replay_response(trace, rescheduler, validate)
-        response["elapsed_ms"] = (time.perf_counter() - start) * 1e3
-        return Response.json(200, response)
+        return Response.ndjson_stream(
+            iter_replay_frames(trace, rescheduler, validate)
+        )
 
     def _handle_purge(self, request: Request) -> Response:
-        """Explicit eviction message: drop expired entries (or everything)."""
+        """Explicit eviction message: drop expired entries (or everything).
+
+        ``{"all": true}`` also empties the replay plan cache (it has no TTL,
+        so a full purge is its only eviction message besides LRU pressure);
+        the count comes back as ``"plan_cleared"``.
+        """
         payload = self.read_optional_dict_body(request, context="purge")
         cache = self.service.cache
         cleared = 0
+        plan_cleared = 0
         if payload.get("all"):
             cleared = len(cache)
             cache.clear()
+            plan_cleared = self.service.plan_cache.clear()
             expired = 0
         else:
             expired = cache.purge_expired()
         return Response.json(
             200,
-            {"expired_purged": expired, "cleared": cleared, "size": len(cache)},
+            {
+                "expired_purged": expired,
+                "cleared": cleared,
+                "plan_cleared": plan_cleared,
+                "size": len(cache),
+            },
         )
 
     def _handle_shutdown(self, request: Request) -> Response:

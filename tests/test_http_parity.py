@@ -44,6 +44,11 @@ ERROR_REQUESTS = [
     ("empty-schedule", "POST", "/schedule", b""),
     ("malformed-schedule", "POST", "/schedule", b'{"nonsense": true}'),
     ("schedule-not-json", "POST", "/schedule", b"not json at all"),
+    ("malformed-replay", "POST", "/replay", b'{"nonsense": true}'),
+    ("replay-not-json", "POST", "/replay", b"not json at all"),
+    ("replay-bad-kernel", "POST", "/replay", json.dumps(
+        {"generate": {"tasks": 3, "procs": 2}, "kernel": "nope"}
+    ).encode()),
     ("purge-not-json", "POST", "/purge", b"not json"),
     ("shutdown-disabled", "POST", "/shutdown", b"{}"),
     ("unknown-method", "PUT", "/healthz", b""),
@@ -190,4 +195,225 @@ class TestDaemonRouterParity:
             document = json.loads(payload)
             document.pop("elapsed_ms")
             results[which] = (status, document)
+        assert results["daemon"] == results["router"]
+
+
+# ---------------------------------------------------------------------- #
+# Chunked-response parity (streamed POST /replay)
+# ---------------------------------------------------------------------- #
+
+REPLAY_BODY = json.dumps(
+    {
+        "generate": {
+            "pattern": "pareto",
+            "family": "mixed",
+            "tasks": 10,
+            "procs": 4,
+            "seed": 17,
+        },
+        "kernel": "availability",
+        "validate": True,
+    }
+).encode()
+
+
+def exchange_stream(address, body: bytes, target: str = "/replay"):
+    """One streamed POST on a fresh connection.
+
+    Returns ``(status, headers, frames, terminated)`` where ``frames`` is
+    the list of chunk payloads exactly as framed on the wire (one element
+    per ``Transfer-Encoding: chunked`` chunk — chunk boundaries are part of
+    the protocol: one NDJSON line per chunk) and ``terminated`` says whether
+    the terminating zero-length chunk arrived.  A non-chunked response
+    (e.g. a pre-stream 400) comes back as a single pseudo-frame with
+    ``terminated=True``.
+    """
+    head = (
+        f"POST {target} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n\r\n"
+    )
+    with socket.create_connection(address, timeout=60) as conn:
+        conn.sendall(head.encode() + body)
+        rfile = conn.makefile("rb")
+        status_line = rfile.readline()
+        assert status_line, "server closed the connection before responding"
+        status = int(status_line.split()[1])
+        headers: list[tuple[str, str]] = []
+        while True:
+            line = rfile.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode().partition(":")
+            headers.append((name.strip().lower(), value.strip()))
+        if not any(n == "transfer-encoding" for n, _ in headers):
+            length = next((int(v) for n, v in headers if n == "content-length"), 0)
+            return status, headers, [rfile.read(length)], True
+        frames: list[bytes] = []
+        terminated = False
+        while True:
+            size_line = rfile.readline()
+            if not size_line:
+                break  # connection closed mid-stream: truncation
+            size = int(size_line.strip(), 16)
+            if size == 0:
+                terminated = True
+                rfile.readline()  # trailing CRLF of the last-chunk
+                break
+            chunk = rfile.read(size + 2)
+            if len(chunk) < size + 2 or not chunk.endswith(b"\r\n"):
+                break  # truncated inside a chunk
+            frames.append(chunk[:-2])
+    return status, headers, frames, terminated
+
+
+def audit_stream_structure(name, headers, frames):
+    """Streamed responses: unique headers, chunked framing, no
+    Content-Length, NDJSON chunks — exactly one JSON line per chunk."""
+    names = [n for n, _ in headers]
+    assert len(names) == len(set(names)), f"{name}: duplicate headers {names}"
+    assert ("transfer-encoding", "chunked") in headers, f"{name}: not chunked"
+    assert "content-length" not in names, f"{name}: chunked AND Content-Length"
+    content_type = next(v for n, v in headers if n == "content-type")
+    assert content_type == "application/x-ndjson", f"{name}: {content_type}"
+    for frame in frames:
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1, (
+            f"{name}: chunk is not one NDJSON line: {frame[:80]!r}"
+        )
+        json.loads(frame)
+
+
+def comparable_frames(frames):
+    """Frame payloads with the wall-clock fields zeroed, boundaries kept."""
+    documents = [json.loads(frame) for frame in frames]
+    for document in documents:
+        document.pop("elapsed_ms", None)
+        if "epoch" in document:
+            document["epoch"]["compute_ms"] = 0.0
+        if "result" in document:
+            document["result"]["compute_ms"] = 0.0
+            for epoch in document["result"]["epochs"]:
+                epoch["compute_ms"] = 0.0
+    return documents
+
+
+class TestStreamedReplayParity:
+    def test_cross_transport_stream_identical(self, daemons):
+        """Status, headers, chunk boundaries and scrubbed chunk payloads all
+        agree between the threaded and asyncio transports."""
+        results = {}
+        for transport, server in daemons.items():
+            status, headers, frames, terminated = exchange_stream(
+                server.server_address[:2], REPLAY_BODY
+            )
+            assert status == 200 and terminated, f"{transport}: broken stream"
+            audit_stream_structure(f"{transport}:replay", headers, frames)
+            results[transport] = (
+                status,
+                comparable(headers),
+                comparable_frames(frames),
+            )
+        assert results["threaded"] == results["asyncio"]
+
+    def test_daemon_router_stream_identical(self, daemon_and_router):
+        """The router relays the shard's chunk stream frame-for-frame: same
+        boundaries, same payloads, same terminating chunk."""
+        server, cluster = daemon_and_router
+        results = {}
+        for which, address in (
+            ("daemon", server.server_address[:2]),
+            ("router", cluster.server.server_address[:2]),
+        ):
+            status, headers, frames, terminated = exchange_stream(
+                address, REPLAY_BODY
+            )
+            assert status == 200 and terminated, f"{which}: broken stream"
+            audit_stream_structure(f"{which}:replay", headers, frames)
+            results[which] = (
+                status,
+                comparable(headers),
+                comparable_frames(frames),
+            )
+        assert results["daemon"] == results["router"]
+
+    def test_stream_epochs_match_final_document(self, daemons):
+        """Protocol shape: every frame but the last is {"epoch": ...}, the
+        last is the full response whose epochs ARE the streamed frames."""
+        for transport, server in daemons.items():
+            _, _, frames, _ = exchange_stream(
+                server.server_address[:2], REPLAY_BODY
+            )
+            documents = [json.loads(frame) for frame in frames]
+            assert all("epoch" in doc for doc in documents[:-1])
+            final = documents[-1]
+            assert final["result"]["epochs"] == [
+                doc["epoch"] for doc in documents[:-1]
+            ]
+            assert final["validation"] is not None
+
+
+class TestErrorMidStream:
+    """A kernel failure AFTER frames have been sent cannot be turned into an
+    HTTP error (the 200 and the early chunks are already on the wire).  The
+    pinned contract: the server aborts the chunked stream WITHOUT the
+    terminating zero chunk and closes the connection — truncation is the
+    client's only error signal — identically on every frontend."""
+
+    @pytest.fixture(scope="class")
+    def boom_payload(self):
+        """Register a scheduler that fails on single-task batches and build
+        a trace (releases 0, 0, 5) whose SECOND epoch is single-task: one
+        epoch frame streams, then the kernel dies."""
+        from repro.core.mrt import MRTScheduler
+        from repro.registry import ALGORITHMS
+        from repro.workloads.generators import make_workload
+
+        class BoomScheduler:
+            def __init__(self):
+                self._inner = MRTScheduler()
+
+            def schedule(self, batch):
+                if batch.num_tasks == 1:
+                    raise RuntimeError("mid-stream kernel failure (test)")
+                return self._inner.schedule(batch)
+
+        ALGORITHMS["boom-mid"] = BoomScheduler
+        trace = make_workload("uniform", 3, 4, seed=0).with_releases(
+            [0.0, 0.0, 5.0]
+        )
+        yield json.dumps(
+            {"trace": trace.as_dict(), "algorithm": "boom-mid"}
+        ).encode()
+        del ALGORITHMS["boom-mid"]
+
+    def test_truncation_identical_on_both_transports(self, daemons, boom_payload):
+        results = {}
+        for transport, server in daemons.items():
+            status, headers, frames, terminated = exchange_stream(
+                server.server_address[:2], boom_payload
+            )
+            assert status == 200, f"{transport}: error raced the first frame"
+            assert not terminated, f"{transport}: stream terminated cleanly!"
+            audit_stream_structure(f"{transport}:boom", headers, frames)
+            documents = [json.loads(frame) for frame in frames]
+            assert documents, f"{transport}: no epoch frame before the error"
+            assert all("epoch" in doc for doc in documents), (
+                f"{transport}: a final document leaked after the failure"
+            )
+            results[transport] = (status, comparable_frames(frames))
+        assert results["threaded"] == results["asyncio"]
+
+    def test_router_relays_the_truncation(self, daemon_and_router, boom_payload):
+        server, cluster = daemon_and_router
+        results = {}
+        for which, address in (
+            ("daemon", server.server_address[:2]),
+            ("router", cluster.server.server_address[:2]),
+        ):
+            status, headers, frames, terminated = exchange_stream(
+                address, boom_payload
+            )
+            assert status == 200 and not terminated, f"{which}: not truncated"
+            documents = [json.loads(frame) for frame in frames]
+            assert documents and all("epoch" in doc for doc in documents)
+            results[which] = (status, comparable_frames(frames))
         assert results["daemon"] == results["router"]

@@ -162,6 +162,78 @@ class TestAsyncioTransport:
         assert status == 200
         assert "result" in json.loads(body)
 
+    def test_slow_consumer_of_replay_stream_never_blocks_the_loop(self, aserver):
+        # A client that dribble-reads a chunked /replay stream through a
+        # tiny receive buffer makes the transport's write buffer fill, so
+        # writer.drain() must suspend just this connection's coroutine —
+        # the event loop has to keep answering /healthz the whole time.
+        # Reading to the end then proves the backpressure lost no bytes:
+        # the stream terminates cleanly and the frames reassemble into the
+        # final document's own epochs list.
+        import http.client
+
+        body = json.dumps(
+            {
+                "generate": {
+                    "pattern": "poisson",
+                    "family": "mixed",
+                    "tasks": 48,
+                    "procs": 8,
+                    "seed": 3,
+                },
+                "kernel": "barrier",
+            }
+        ).encode()
+        host, port = aserver.server_address[:2]
+        conn = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        conn.settimeout(60)
+        conn.connect((host, port))
+        try:
+            conn.sendall(
+                b"POST /replay HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            raw = b""
+            probes = 0
+            while True:
+                data = conn.recv(512)  # dribble: tiny reads, server-side backpressure
+                if not data:
+                    break
+                raw += data
+                if raw.endswith(b"0\r\n\r\n"):
+                    break
+                if len(raw) % 8192 < 512:  # probe the loop every ~8 KiB
+                    time.sleep(0.005)
+                    probe = http.client.HTTPConnection(host, port, timeout=10)
+                    probe.request("GET", "/healthz")
+                    assert probe.getresponse().status == 200, (
+                        "event loop starved while a slow consumer dribbled"
+                    )
+                    probe.close()
+                    probes += 1
+        finally:
+            conn.close()
+        assert probes > 0, "stream too small to exercise backpressure"
+        head, _, chunked = raw.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        frames = []
+        while chunked:
+            size_line, _, chunked = chunked.partition(b"\r\n")
+            size = int(size_line, 16)
+            if size == 0:
+                break
+            frames.append(chunked[:size])
+            chunked = chunked[size + 2 :]
+        else:
+            pytest.fail("stream did not terminate with the zero chunk")
+        documents = [json.loads(frame) for frame in frames]
+        final = documents[-1]
+        assert "result" in final
+        assert [doc["epoch"] for doc in documents[:-1]] == final["result"]["epochs"]
+
     def test_concurrent_connection_soak(self, aserver):
         # Warm the one payload, then hold 64 concurrent keep-alive
         # connections firing it; every exchange must complete cleanly.
